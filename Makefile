@@ -1,0 +1,25 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro report --output results/REPORT.md
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		python $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+clean:
+	rm -rf results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

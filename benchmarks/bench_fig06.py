@@ -1,0 +1,42 @@
+"""Fig. 6 — IR-drop maps of the 138-pad chip under three pad plans.
+
+Paper (commercial sign-off on a real 2.3M-gate chip):
+random 117.4 mV, regular 77.3 mV, DFA+exchange 55.2 mV.
+
+Our substitute solves a hot-block FD power grid (see DESIGN.md).  The
+ordering random > regular > optimized reproduces; the regular-vs-optimized
+margin is structurally smaller on a uniform-sheet grid (EXPERIMENTS.md).
+"""
+
+from repro.circuits import (
+    build_realchip,
+    hotspot_current_map,
+    random_plan,
+    realchip_grid_config,
+    run_fig6,
+)
+from repro.power import FDSolver
+from repro.power.pads import pad_nodes_for_grid
+from repro.viz import render_irdrop_map
+
+
+def test_fig6(benchmark, record_result):
+    result = benchmark.pedantic(lambda: run_fig6(seed=2009), rounds=1, iterations=1)
+
+    assert result.optimized_mv <= result.regular_mv <= result.random_mv
+
+    lines = ["plan                      measured    paper"]
+    for name, measured, paper in result.as_rows():
+        lines.append(f"{name:<25} {measured:7.1f} mV {paper:6.1f} mV")
+    lines.append("")
+
+    # also render the random plan's drop map, the textual Fig. 6(A)
+    design = build_realchip(seed=2009)
+    config = realchip_grid_config()
+    solver = FDSolver(config, current_map=hotspot_current_map(config))
+    nodes = pad_nodes_for_grid(
+        design, random_plan(design, seed=2009), config, net_type=None
+    )
+    lines.append("random plan drop map (textual Fig. 6(A)):")
+    lines.append(render_irdrop_map(solver.solve(nodes), max_cols=40))
+    record_result("fig06", "\n".join(lines))

@@ -1,0 +1,25 @@
+"""Fig. 10 — IFA on the 12-net example.
+
+The paper publishes the exact IFA result: finger order
+10,1,11,2,3,6,4,5,9,7,8,0 with max density 2 (50% below the random order).
+"""
+
+from repro.assign import IFAAssigner
+from repro.circuits import FIG10_IFA_ORDER, fig5_quadrant
+from repro.routing import max_density
+from repro.viz import render_assignment
+
+
+def test_fig10(benchmark, record_result):
+    quadrant = fig5_quadrant()
+    assignment = benchmark(lambda: IFAAssigner().assign(quadrant))
+
+    assert assignment.order == FIG10_IFA_ORDER
+    assert max_density(assignment) == 2
+
+    record_result(
+        "fig10",
+        f"IFA order: {assignment.order} (paper: {FIG10_IFA_ORDER})\n"
+        f"max density: {max_density(assignment)} (paper: 2)\n\n"
+        + render_assignment(assignment),
+    )

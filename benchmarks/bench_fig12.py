@@ -1,0 +1,31 @@
+"""Fig. 12 — DFA walk-through on the 12-net example.
+
+The paper publishes the density intervals DFA computes (1.8 for the highest
+line, then 1.0, then 0.0) and the resulting order 10,11,1,2,6,3,4,9,5,7,8,0.
+Both are reproduced exactly.
+"""
+
+import pytest
+
+from repro.assign import DFAAssigner
+from repro.circuits import FIG5_DFA_ORDER, FIG12_DI_TRACE, fig5_quadrant
+from repro.routing import max_density
+
+
+def test_fig12(benchmark, record_result):
+    quadrant = fig5_quadrant()
+    assigner = DFAAssigner()
+
+    assignment = benchmark(lambda: assigner.assign(quadrant))
+
+    trace = assigner.density_interval_trace(quadrant)
+    assert trace == pytest.approx(FIG12_DI_TRACE)
+    assert assignment.order == FIG5_DFA_ORDER
+    assert max_density(assignment) == 2
+
+    record_result(
+        "fig12",
+        f"DI per line (highest first): {trace} (paper: {FIG12_DI_TRACE})\n"
+        f"DFA order: {assignment.order} (paper: {FIG5_DFA_ORDER})\n"
+        f"max density: {max_density(assignment)}",
+    )

@@ -1,0 +1,43 @@
+"""Optimality gap of IFA/DFA against exhaustive ground truth.
+
+Not a paper table — the paper never quantifies how far its heuristics are
+from the optimum.  For quadrants small enough to enumerate (the Fig.-5
+example has 27,720 legal orders) the exact minimum-density assignment is
+computed and compared.
+"""
+
+from repro.assign import DFAAssigner, ExhaustiveAssigner, IFAAssigner
+from repro.circuits import fig5_quadrant
+from repro.package import quadrant_from_rows
+from repro.routing import max_density
+
+
+def test_optimality_gap(benchmark, record_result):
+    cases = {
+        "fig5 (12 nets)": fig5_quadrant(),
+        "3-level (9 nets)": quadrant_from_rows(
+            [[0, 1, 2, 3], [4, 5, 6], [7, 8]]
+        ),
+        "4-level (10 nets)": quadrant_from_rows(
+            [[0, 1, 2, 3], [4, 5, 6], [7, 8], [9]]
+        ),
+    }
+
+    def run():
+        rows = {}
+        for name, quadrant in cases.items():
+            rows[name] = (
+                max_density(ExhaustiveAssigner().assign(quadrant)),
+                max_density(IFAAssigner().assign(quadrant)),
+                max_density(DFAAssigner().assign(quadrant)),
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["case                 optimum   IFA   DFA"]
+    for name, (optimum, ifa, dfa) in rows.items():
+        lines.append(f"{name:<20} {optimum:>7}   {ifa:>3}   {dfa:>3}")
+        assert dfa <= optimum + 1
+        assert ifa <= optimum + 2
+    record_result("optimality", "\n".join(lines))

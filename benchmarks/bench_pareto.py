@@ -1,0 +1,37 @@
+"""The Eq.-3 trade-off curve: package density vs core IR-drop.
+
+Not a paper table — the paper commits to one weight setting; this bench
+maps the whole frontier those weights select from, using the committed
+sweep tooling (`repro.flow.sweep_density_weight`).
+"""
+
+from repro.circuits import CIRCUIT_2, build_design
+from repro.exchange import SAParams
+from repro.flow import sweep_density_weight
+from repro.power import PowerGridConfig
+
+
+def test_pareto_tradeoff(benchmark, record_result):
+    design = build_design(CIRCUIT_2, seed=0)
+
+    curve = benchmark.pedantic(
+        lambda: sweep_density_weight(
+            design,
+            weights=(0.01, 0.04, 0.08, 0.2, 0.5),
+            sa_params=SAParams(
+                initial_temp=0.03, final_temp=1e-4, cooling=0.93, moves_per_temp=120
+            ),
+            grid_config=PowerGridConfig(size=24),
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    record_result("pareto", curve.render())
+
+    frontier = curve.frontier()
+    assert frontier, "sweep must produce at least one efficient point"
+    # the frontier is a genuine trade: sorted by density, IR must not improve
+    drops = [point.max_ir_drop for point in frontier]
+    assert drops == sorted(drops, reverse=True) or len(frontier) == 1

@@ -1,0 +1,51 @@
+"""Scaling of the assignment algorithms with finger count.
+
+The paper claims IFA is O(n^2) and DFA is O(n) (sections 3.1.1-3.1.2) and
+motivates both with the >100-finger counts of modern chips.  This bench
+sweeps the finger count well past the paper's largest circuit (448) and
+reports runtime plus density, confirming the heuristics stay at the
+congestion floor while the random baseline keeps degrading.
+"""
+
+import time
+
+from repro.assign import DFAAssigner, IFAAssigner, RandomAssigner
+from repro.circuits import CircuitSpec, build_design
+from repro.routing import max_density_of_design
+
+
+def sweep(counts):
+    rows = []
+    for count in counts:
+        spec = CircuitSpec(name=f"sweep{count}", finger_count=count)
+        design = build_design(spec, seed=0)
+        row = {"count": count}
+        for assigner in (RandomAssigner(seed=0), IFAAssigner(), DFAAssigner()):
+            start = time.perf_counter()
+            assignments = assigner.assign_design(design)
+            elapsed = time.perf_counter() - start
+            row[assigner.name] = (
+                max_density_of_design(assignments),
+                elapsed * 1000.0,
+            )
+        rows.append(row)
+    return rows
+
+
+def test_scaling(benchmark, record_result):
+    counts = (96, 224, 448, 896, 1792)
+    rows = benchmark.pedantic(lambda: sweep(counts), rounds=1, iterations=1)
+
+    lines = ["fingers   Random dens   IFA dens   DFA dens   IFA ms   DFA ms"]
+    for row in rows:
+        lines.append(
+            f"{row['count']:>7}   {row['Random'][0]:>11}   {row['IFA'][0]:>8}"
+            f"   {row['DFA'][0]:>8}   {row['IFA'][1]:>6.1f}   {row['DFA'][1]:>6.1f}"
+        )
+    record_result("scaling", "\n".join(lines))
+
+    # the heuristics stay near the 4-level congestion floor at every size
+    for row in rows:
+        assert row["DFA"][0] <= 8
+        assert row["IFA"][0] <= 10
+        assert row["Random"][0] >= row["DFA"][0]

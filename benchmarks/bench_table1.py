@@ -1,0 +1,25 @@
+"""Table 1 — the experimental data of the test circuits.
+
+Regenerates the published parameter table and benchmarks design
+materialization (netlist + bump array construction for all five circuits).
+"""
+
+from repro.circuits import TABLE1_SPECS, build_table1_designs
+from repro.flow import render_table1
+
+PAPER_FINGER_COUNTS = [96, 160, 208, 352, 448]
+PAPER_BUMP_SPACES = [2.0, 1.4, 1.2, 1.2, 1.2]
+
+
+def test_table1(benchmark, record_result):
+    designs = benchmark(build_table1_designs)
+
+    # the generated designs carry exactly the published parameters
+    for spec, paper_count, paper_space in zip(
+        TABLE1_SPECS, PAPER_FINGER_COUNTS, PAPER_BUMP_SPACES
+    ):
+        assert spec.finger_count == paper_count
+        assert spec.bump_ball_space == paper_space
+        assert designs[spec.name].total_net_count == paper_count
+
+    record_result("table1", render_table1())

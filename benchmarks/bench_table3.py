@@ -1,0 +1,52 @@
+"""Table 3 — the finger/pad exchange on 2-D (psi=1) and stacking (psi=4) ICs.
+
+Paper: over the five circuits the exchange improves IR-drop by 10.61% on
+average for 2-D ICs and 4.58% for psi=4 stacks, improves bonding wires by
+15.66%, and lets the max density grow by a couple of units (e.g. 4 -> 7) —
+a deliberate trade.  We reproduce the signs and rough magnitudes; see
+EXPERIMENTS.md for the per-cell comparison.
+"""
+
+import pytest
+
+from repro.circuits import build_design, table1_circuit
+from repro.exchange import SAParams
+from repro.flow import CoDesignFlow, render_table3
+from repro.power import PowerGridConfig
+
+SA = SAParams(initial_temp=0.03, final_temp=1e-4, cooling=0.95, moves_per_temp=150)
+GRID = PowerGridConfig(size=32)
+
+
+def run_all(tier_count):
+    flow = CoDesignFlow(sa_params=SA, grid_config=GRID)
+    results = {}
+    for index in range(1, 6):
+        design = build_design(table1_circuit(index, tier_count=tier_count), seed=0)
+        results[design.name] = flow.run(design, seed=7)
+    return results
+
+
+def test_table3(benchmark, record_result):
+    results_2d, results_stacked = benchmark.pedantic(
+        lambda: (run_all(1), run_all(4)), rounds=1, iterations=1
+    )
+
+    text = render_table3(results_2d, results_stacked)
+    avg_2d = sum(r.ir_improvement for r in results_2d.values()) / 5
+    avg_4t = sum(r.ir_improvement for r in results_stacked.values()) / 5
+    avg_bond = sum(r.bonding_improvement for r in results_stacked.values()) / 5
+    footer = (
+        "paper averages: IR 10.61% (2-D), 4.58% (psi=4), bonding 15.66%\n"
+        f"ours:           IR {avg_2d * 100:.2f}% (2-D), {avg_4t * 100:.2f}% (psi=4), "
+        f"bonding {avg_bond * 100:.2f}%"
+    )
+    record_result("table3", text + "\n\n" + footer)
+
+    # shape assertions: the exchange helps on average, density growth bounded
+    assert avg_2d > 0
+    assert avg_bond > 0
+    for results in (results_2d, results_stacked):
+        for result in results.values():
+            assert result.density_after_exchange <= result.density_after_assignment + 5
+            assert result.ir_improvement >= -0.01

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper, prints the
+paper-style rows and also writes them to ``results/<experiment>.txt`` so the
+numbers survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write (and echo) one experiment's rendered output."""
+
+    def writer(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return writer

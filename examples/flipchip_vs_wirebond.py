@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Quantify the paper's wire-bond vs flip-chip observation (section 2.4).
+
+"The IR-drop problem of a wire-bond package is worse than a flip-chip
+package [because] the distance from the power pad to the module is
+shorter" — the paper still adopts wire-bond for cost and then optimizes
+within it.  This example measures the gap the paper is working against,
+across die sizes and pad budgets.
+
+Run:  python examples/flipchip_vs_wirebond.py
+"""
+
+from repro.power import PowerGridConfig, compare_packaging
+from repro.units import fmt_mv, fmt_pct
+
+
+def main() -> None:
+    print("die size   pads   wire-bond     flip-chip     flip-chip advantage")
+    for size in (16, 24, 32, 48):
+        for pad_count in (4, 9, 16):
+            config = PowerGridConfig(size=size, j0=5e-5)
+            comparison = compare_packaging(config, pad_count=pad_count)
+            print(
+                f"{size:>4}x{size:<4} {pad_count:>5}   "
+                f"{fmt_mv(comparison.wirebond_max_drop):>10}   "
+                f"{fmt_mv(comparison.flipchip_max_drop):>10}   "
+                f"{fmt_pct(comparison.flipchip_advantage):>10}"
+            )
+    print()
+    print(
+        "with a realistic supply budget (>= 9 pads) flip-chip wins and its\n"
+        "edge grows with the die — the reason the paper's wire-bond flow\n"
+        "must make every boundary pad count."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: plan the finger/pads of a small BGA package.
+
+Builds the paper's 12-net example (Fig. 5), compares a random monotonic
+order against IFA and DFA, routes the winner and prints everything a first
+user wants to see.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.assign import DFAAssigner, IFAAssigner, RandomAssigner
+from repro.circuits import fig5_quadrant
+from repro.routing import MonotonicRouter, max_density, total_flyline_length
+from repro.viz import render_assignment, render_density_profile
+
+
+def main() -> None:
+    # The quadrant bundles the nets, their bump balls and the finger row.
+    quadrant = fig5_quadrant()
+    print(quadrant.describe())
+    print()
+
+    # Three ways to assign nets to fingers; all are monotonic-legal.
+    assigners = [RandomAssigner(seed=0), IFAAssigner(), DFAAssigner()]
+    results = {}
+    for assigner in assigners:
+        assignment = assigner.assign(quadrant)
+        results[assigner.name] = assignment
+        print(
+            f"{assigner.name:<8} order={assignment.order}  "
+            f"max density={max_density(assignment)}  "
+            f"flyline WL={total_flyline_length(assignment):.2f} um"
+        )
+    print()
+
+    # DFA wins; look at its congestion profile and route it for real.
+    best = results["DFA"]
+    print(render_assignment(best))
+    print()
+    print(render_density_profile(best))
+    print()
+
+    routed = MonotonicRouter().route(best)
+    print(
+        f"routed: max density {routed.max_density}, "
+        f"total routed length {routed.total_routed_length:.2f} um "
+        f"(flyline bound {routed.total_flyline_length:.2f} um)"
+    )
+    sample = routed.nets[best.order[0]]
+    print(f"net {sample.net_id} path: ", [tuple(p) for p in sample.layer1_points])
+
+
+if __name__ == "__main__":
+    main()

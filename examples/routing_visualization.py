@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Fig.-15-style routing pictures.
+
+Routes Circuit 2's bottom quadrant under the random baseline, IFA and DFA,
+writes one SVG per method next to this script, and prints the quantitative
+comparison (density + routed length).
+
+Run:  python examples/routing_visualization.py
+"""
+
+from pathlib import Path
+
+from repro.assign import BestOfRandomAssigner, DFAAssigner, IFAAssigner
+from repro.circuits import CIRCUIT_2, build_design
+from repro.geometry import Side
+from repro.io import save_routing_svg
+from repro.routing import MonotonicRouter
+from repro.viz import render_density_profile
+
+OUT_DIR = Path(__file__).resolve().parent
+
+
+def main() -> None:
+    design = build_design(CIRCUIT_2, seed=42)
+    router = MonotonicRouter()
+
+    print("method   max density   routed WL (um)   SVG")
+    for assigner in (BestOfRandomAssigner(trials=3), IFAAssigner(), DFAAssigner()):
+        assignment = assigner.assign(design.quadrants[Side.BOTTOM], seed=42)
+        result = router.route(assignment)
+        path = OUT_DIR / f"fig15_{assigner.name.lower()}.svg"
+        save_routing_svg(assignment, result, path)
+        print(
+            f"{assigner.name:<8} {result.max_density:>11}"
+            f"   {result.total_routed_length:>14,.1f}   {path.name}"
+        )
+
+    print("\nDFA congestion profile (bottom quadrant):")
+    dfa = DFAAssigner().assign(design.quadrants[Side.BOTTOM])
+    print(render_density_profile(dfa))
+
+    # and the whole package in one picture, all four sides rotated into place
+    from repro.routing import route_design
+    from repro.viz import save_package_svg
+
+    assignments = DFAAssigner().assign_design(design, seed=42)
+    package_path = OUT_DIR / "package_dfa.svg"
+    save_package_svg(design, assignments, route_design(assignments), package_path)
+    print(f"\nwhole-package view: {package_path.name}")
+
+
+if __name__ == "__main__":
+    main()

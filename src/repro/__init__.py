@@ -1,0 +1,77 @@
+"""repro — Package routability- and IR-drop-aware finger/pad planning.
+
+A faithful, from-scratch reproduction of:
+
+    C.-H. Lu, H.-M. Chen, C.-N. J. Liu, W.-Y. Shih,
+    "Package routability- and IR-drop-aware finger/pad assignment in
+    chip-package co-design", DATE 2009
+    (journal extension: INTEGRATION, the VLSI Journal 46, 2012).
+
+Public API overview
+-------------------
+``repro.package``
+    BGA package model: nets, bump balls, fingers, quadrants, stacking.
+``repro.assign``
+    Finger/pad assignment: random baseline, IFA, DFA, legality checks.
+``repro.routing``
+    Monotonic two-layer router, congestion estimation, wirelength.
+``repro.power``
+    Power-grid IR-drop: finite-difference solver and compact proxy.
+``repro.exchange``
+    SA-based finger/pad exchange (IR-drop, density, bonding wires).
+``repro.circuits``
+    Table-1 test circuits, figure examples, the Fig.-6 real-chip proxy.
+``repro.flow``
+    Two-step co-design flow, assigner comparison, paper-style reports.
+"""
+
+from . import assign, circuits, exchange, flow, geometry, package, power, routing
+from .assign import Assignment, DFAAssigner, IFAAssigner, RandomAssigner
+from .exchange import CostWeights, FingerPadExchanger, SAParams
+from .flow import CoDesignFlow, compare_assigners
+from .package import (
+    BumpArray,
+    FingerRow,
+    Net,
+    NetList,
+    NetType,
+    PackageDesign,
+    PackageTechnology,
+    Quadrant,
+    StackingConfig,
+    quadrant_from_rows,
+)
+from .power import FDSolver, IRDropAnalyzer, PowerGridConfig
+from .routing import MonotonicRouter, density_map, max_density, total_flyline_length
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "BumpArray",
+    "CoDesignFlow",
+    "CostWeights",
+    "DFAAssigner",
+    "FDSolver",
+    "FingerPadExchanger",
+    "FingerRow",
+    "IFAAssigner",
+    "IRDropAnalyzer",
+    "MonotonicRouter",
+    "Net",
+    "NetList",
+    "NetType",
+    "PackageDesign",
+    "PackageTechnology",
+    "PowerGridConfig",
+    "Quadrant",
+    "RandomAssigner",
+    "SAParams",
+    "StackingConfig",
+    "__version__",
+    "compare_assigners",
+    "density_map",
+    "max_density",
+    "quadrant_from_rows",
+    "total_flyline_length",
+]

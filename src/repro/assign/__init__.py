@@ -1,0 +1,48 @@
+"""Finger/pad assignment algorithms: random baseline, IFA and DFA."""
+
+from .base import Assigner, Assignment
+from .dfa import DFAAssigner
+from .exhaustive import (
+    ExhaustiveAssigner,
+    exhaustive_best_assignment,
+    interleaving_count,
+    iter_legal_orders,
+)
+from .ifa import IFAAssigner
+from .partition import (
+    Partition,
+    PartitionSpec,
+    partition_ring,
+    partition_to_rows,
+)
+from .legality import (
+    check_legal,
+    exchange_range,
+    is_legal,
+    row_violations,
+    swap_is_legal,
+)
+from .random_assign import BestOfRandomAssigner, RandomAssigner, best_of_random
+
+__all__ = [
+    "Assigner",
+    "Assignment",
+    "BestOfRandomAssigner",
+    "DFAAssigner",
+    "ExhaustiveAssigner",
+    "IFAAssigner",
+    "Partition",
+    "PartitionSpec",
+    "partition_ring",
+    "partition_to_rows",
+    "exhaustive_best_assignment",
+    "interleaving_count",
+    "iter_legal_orders",
+    "RandomAssigner",
+    "best_of_random",
+    "check_legal",
+    "exchange_range",
+    "is_legal",
+    "row_violations",
+    "swap_is_legal",
+]

@@ -1,0 +1,133 @@
+"""Density-Interval-based Finger/pad Assignment (DFA, paper Fig. 11).
+
+IFA only reasons about two adjacent rows at a time, which degrades on BGA
+packages with three or more bump levels (paper Fig. 13).  DFA instead spreads
+every row across the *whole* finger span using a density interval:
+
+    DI = (total non-allocated nets - used via number)
+         / (total via number + n),          n >= 1
+
+where the "total via number" is the via-candidate count of the highest
+horizontal line (the line that dominates congestion under monotonic routing)
+and "used via number" is the number of vias the current row will consume.
+Each ball ``x`` of the row computes an empty number ``EN = floor(x * DI)``
+and lands on the ``(EN + 1)``-th *unassigned* finger slot counted from the
+left.  Processing rows from the highest line outwards keeps the result
+monotonic-legal by construction and the whole pass is O(n).
+
+The cut-line parameter ``n`` models the congestion shared by neighbouring
+triangular quadrants along the diagonal cut-lines: with ``n = 1`` the
+cut-line congestion is ignored; ``n >= 2`` merges the leftmost and rightmost
+segments so both quadrants contribute (paper section 3.1.2).
+
+On the paper's 12-net example this reproduces the published order
+``10,11,1,2,6,3,4,9,5,7,8,0`` and the published density intervals
+(DI = 1.8 then 1.0 then 0.0) exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..errors import AssignmentError
+from ..package import Quadrant
+from .base import Assigner, Assignment
+from .fenwick import FreeSlotIndex
+
+
+class DFAAssigner(Assigner):
+    """Density-interval congestion-driven assignment (DFA)."""
+
+    name = "DFA"
+
+    def __init__(self, cut_line_n: int = 1) -> None:
+        if cut_line_n < 1:
+            raise AssignmentError(f"cut-line parameter n must be >= 1, got {cut_line_n}")
+        self.cut_line_n = cut_line_n
+
+    def assign(self, quadrant: Quadrant, seed: Optional[int] = None) -> Assignment:
+        del seed  # deterministic
+        rows_top_down = quadrant.bumps.rows_top_down()
+        if not rows_top_down:
+            raise AssignmentError("quadrant has no bump rows")
+
+        slot_count = quadrant.net_count
+        # Via candidates on the highest line: one per ball plus the free
+        # rightmost candidate (see BumpArray.via_candidate_xs).
+        total_via_number = quadrant.bumps.row_size(rows_top_down[0]) + 1
+        segments = total_via_number + self.cut_line_n
+
+        slots: List[Optional[int]] = [None] * slot_count
+        free = FreeSlotIndex(slot_count)
+        remaining = slot_count
+
+        for row in rows_top_down:
+            nets = quadrant.row_nets(row)
+            used_via_number = len(nets)
+            density_interval = max(0.0, (remaining - used_via_number) / segments)
+            previous_index = -1
+            for x, net in enumerate(nets, start=1):
+                empty_number = math.floor(x * density_interval)
+                slot_index = self._pick_slot(
+                    free,
+                    empty_number,
+                    min_index=previous_index,
+                    reserve=len(nets) - x,
+                )
+                free.take(slot_index)
+                slots[slot_index] = net
+                previous_index = slot_index
+            remaining -= used_via_number
+
+        assert all(net is not None for net in slots)
+        return Assignment(quadrant, slots)
+
+    @staticmethod
+    def _pick_slot(
+        free: FreeSlotIndex,
+        empty_number: int,
+        min_index: int,
+        reserve: int,
+    ) -> int:
+        """Slot for the current net: the ``(EN + 1)``-th unassigned from the left.
+
+        Two feasibility constraints keep irregular bump arrays legal, both
+        no-ops on the regular cases the paper walks through:
+
+        * the slot must land strictly after ``min_index`` (the slot of the
+          previous net of the same bump row), preserving within-row order;
+        * at least ``reserve`` free slots must remain to its right for the
+          row's outstanding nets.
+
+        All queries run in O(log n) on the Fenwick free-slot index, making
+        the DFA pass O(n log n) — matching the paper's linear-time claim up
+        to the log factor.
+        """
+        admissible_count = free.free_after(min_index)
+        if admissible_count <= reserve:
+            raise AssignmentError("no unassigned finger slot left for the row")
+        # The paper's choice: the (EN+1)-th free slot counted globally,
+        # expressed as a rank among the admissible (post-min_index) frees.
+        skipped = free.free_before(min_index + 1)
+        rank = empty_number - skipped
+        # Clamp into the admissible window [first legal, last leaving room].
+        rank = min(max(rank, 0), admissible_count - reserve - 1)
+        return free.kth_free_after(rank, min_index)
+
+    def density_interval_trace(self, quadrant: Quadrant) -> List[float]:
+        """The DI value used for each row, highest line first (for reports).
+
+        The paper's walk-through quotes these values (1.8, 1.0, 0.0 on the
+        12-net example); exposing them makes the Fig. 12 bench verifiable.
+        """
+        rows_top_down = quadrant.bumps.rows_top_down()
+        total_via_number = quadrant.bumps.row_size(rows_top_down[0]) + 1
+        segments = total_via_number + self.cut_line_n
+        remaining = quadrant.net_count
+        trace = []
+        for row in rows_top_down:
+            used = quadrant.bumps.row_size(row)
+            trace.append(max(0.0, (remaining - used) / segments))
+            remaining -= used
+        return trace

@@ -1,0 +1,97 @@
+"""Exhaustive optimal assignment for small quadrants.
+
+Every monotonic-legal finger order is an interleaving of the bump rows'
+sequences, so small quadrants can be solved *exactly* by enumerating the
+multinomial of interleavings.  This is exponential — the paper's 12-net
+example already has 27,720 legal orders — but invaluable as ground truth:
+it quantifies how far IFA/DFA sit from the true optimum
+(``benchmarks/bench_optimality.py``) and anchors property tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, List, Optional
+
+from ..errors import AssignmentError
+from ..package import Quadrant
+from .base import Assigner, Assignment
+
+#: Refuse enumerations beyond this many interleavings.
+DEFAULT_LIMIT = 2_000_000
+
+
+def interleaving_count(quadrant: Quadrant) -> int:
+    """Number of monotonic-legal orders: the multinomial coefficient."""
+    total = quadrant.net_count
+    count = math.factorial(total)
+    for row in range(1, quadrant.row_count + 1):
+        count //= math.factorial(quadrant.bumps.row_size(row))
+    return count
+
+
+def iter_legal_orders(quadrant: Quadrant) -> Iterator[List[int]]:
+    """Yield every monotonic-legal finger order of *quadrant*."""
+    rows = [
+        quadrant.row_nets(row) for row in range(1, quadrant.row_count + 1)
+    ]
+    indices = [0] * len(rows)
+    total = quadrant.net_count
+    order: List[int] = []
+
+    def backtrack() -> Iterator[List[int]]:
+        if len(order) == total:
+            yield list(order)
+            return
+        for row_index, row in enumerate(rows):
+            if indices[row_index] < len(row):
+                order.append(row[indices[row_index]])
+                indices[row_index] += 1
+                yield from backtrack()
+                indices[row_index] -= 1
+                order.pop()
+
+    return backtrack()
+
+
+def exhaustive_best_assignment(
+    quadrant: Quadrant,
+    objective: Callable[[Assignment], float],
+    limit: int = DEFAULT_LIMIT,
+) -> Assignment:
+    """The legal assignment minimizing *objective*, by full enumeration.
+
+    Raises :class:`AssignmentError` when the search space exceeds *limit*
+    (use IFA/DFA/SA there — that is the paper's point).
+    """
+    count = interleaving_count(quadrant)
+    if count > limit:
+        raise AssignmentError(
+            f"{count} legal orders exceed the exhaustive limit {limit}"
+        )
+    best: Optional[Assignment] = None
+    best_score: Optional[float] = None
+    for order in iter_legal_orders(quadrant):
+        candidate = Assignment(quadrant, order)
+        score = objective(candidate)
+        if best_score is None or score < best_score:
+            best, best_score = candidate, score
+    assert best is not None
+    return best
+
+
+class ExhaustiveAssigner(Assigner):
+    """Exact minimum-density assigner for small quadrants (ground truth)."""
+
+    name = "Exhaustive"
+
+    def __init__(self, limit: int = DEFAULT_LIMIT) -> None:
+        self.limit = limit
+
+    def assign(self, quadrant: Quadrant, seed: Optional[int] = None) -> Assignment:
+        del seed  # deterministic
+        from ..routing.density import max_density
+
+        return exhaustive_best_assignment(
+            quadrant, max_density, limit=self.limit
+        )

@@ -1,0 +1,104 @@
+"""Order-statistic free-slot index (Fenwick / binary indexed tree).
+
+DFA's inner operation is "take the (EN+1)-th unassigned finger slot from
+the left, after a minimum index, leaving room for the rest of the row".
+A naive scan makes every query O(n) and the whole DFA pass O(n^2); this
+Fenwick tree answers prefix-count and k-th-free queries in O(log n),
+restoring the paper's stated O(n) (up to the log factor) — measurable in
+``benchmarks/bench_scaling.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import AssignmentError
+
+
+class FreeSlotIndex:
+    """Tracks which of ``n`` slots are free, with order-statistic queries."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise AssignmentError(f"index needs size >= 1, got {size}")
+        self.size = size
+        self._free_count = size
+        self._taken = [False] * size
+        # Fenwick tree over "free" indicators, 1-based internally.
+        self._tree: List[int] = [0] * (size + 1)
+        for position in range(1, size + 1):
+            self._tree[position] += 1
+            parent = position + (position & -position)
+            if parent <= size:
+                self._tree[parent] += self._tree[position]
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        return self._free_count
+
+    def is_free(self, index: int) -> bool:
+        """Whether 0-based slot *index* is still free."""
+        self._check(index)
+        return not self._taken[index]
+
+    def free_before(self, index: int) -> int:
+        """Number of free slots with position strictly below *index* (0-based)."""
+        if index <= 0:
+            return 0
+        position = min(index, self.size)
+        total = 0
+        while position > 0:
+            total += self._tree[position]
+            position -= position & -position
+        return total
+
+    def kth_free(self, k: int) -> int:
+        """0-based index of the ``(k+1)``-th free slot from the left."""
+        if not (0 <= k < self._free_count):
+            raise AssignmentError(
+                f"k={k} outside the {self._free_count} free slot(s)"
+            )
+        target = k + 1
+        position = 0
+        bit = 1
+        while bit * 2 <= self.size:
+            bit *= 2
+        while bit:
+            next_position = position + bit
+            if next_position <= self.size and self._tree[next_position] < target:
+                position = next_position
+                target -= self._tree[position]
+            bit //= 2
+        return position  # 1-based internal == 0-based external + 1 - 1
+
+    def kth_free_after(self, k: int, min_index: int) -> int:
+        """0-based index of the ``(k+1)``-th free slot strictly after *min_index*.
+
+        ``min_index = -1`` means "from the very left".
+        """
+        skipped = self.free_before(min_index + 1)
+        return self.kth_free(skipped + k)
+
+    def free_after(self, min_index: int) -> int:
+        """Number of free slots strictly after 0-based *min_index*."""
+        return self._free_count - self.free_before(min_index + 1)
+
+    # -- mutation ------------------------------------------------------------------
+
+    def take(self, index: int) -> None:
+        """Mark 0-based slot *index* as occupied."""
+        self._check(index)
+        if self._taken[index]:
+            raise AssignmentError(f"slot {index} already taken")
+        self._taken[index] = True
+        self._free_count -= 1
+        position = index + 1
+        while position <= self.size:
+            self._tree[position] -= 1
+            position += position & -position
+
+    def _check(self, index: int) -> None:
+        if not (0 <= index < self.size):
+            raise AssignmentError(f"slot {index} outside 0..{self.size - 1}")

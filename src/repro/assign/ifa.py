@@ -1,0 +1,75 @@
+"""Intuitive-Insertion-based Finger/pad Assignment (IFA, paper Fig. 9).
+
+IFA processes bump rows from the highest horizontal line (nearest the
+fingers) outwards.  The highest row is copied to the leftmost fingers
+directly.  Every later row is woven in by insertion:
+
+* the row's first net is inserted at the very front (the paper's "shift
+  every finger right by one, assign into F_1");
+* net ``x`` (for ``2 <= x <= m-1``) is inserted immediately before the finger
+  currently holding ball ``x`` of the previously processed row — the rule the
+  paper's walk-through applies ("the net name on B_{i,2,y+1} is Net 6,
+  therefore net 3 is inserted before net 6");
+* the row's last net is appended after all fingers assigned so far.
+
+Insertion can never violate the monotonic rule, because each row is inserted
+left-to-right and never reordered.  On the paper's 12-net example this
+reproduces the published order ``10,1,11,2,3,6,4,5,9,7,8,0`` exactly.
+
+Complexity is O(n^2) in the net count (each insertion shifts a list).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import AssignmentError
+from ..package import Quadrant
+from .base import Assigner, Assignment
+
+
+class IFAAssigner(Assigner):
+    """Insertion-based congestion-driven assignment (IFA)."""
+
+    name = "IFA"
+
+    def assign(self, quadrant: Quadrant, seed: Optional[int] = None) -> Assignment:
+        del seed  # deterministic
+        rows_top_down = quadrant.bumps.rows_top_down()
+        if not rows_top_down:
+            raise AssignmentError("quadrant has no bump rows")
+
+        top_row = rows_top_down[0]
+        order: List[int] = list(quadrant.row_nets(top_row))
+        previous_row_nets = list(order)
+
+        for row in rows_top_down[1:]:
+            nets = quadrant.row_nets(row)
+            order = self._insert_row(order, nets, previous_row_nets)
+            previous_row_nets = nets
+        return Assignment(quadrant, order)
+
+    @staticmethod
+    def _insert_row(
+        order: List[int], nets: List[int], previous_row_nets: List[int]
+    ) -> List[int]:
+        """Weave one bump row into the running finger order."""
+        order = list(order)
+        m = len(nets)
+        # First ball of the row goes to F_1; everything else shifts right.
+        order.insert(0, nets[0])
+        # Middle balls: insert before the same-index ball of the row above.
+        for x in range(2, m):
+            net = nets[x - 1]
+            if x <= len(previous_row_nets):
+                anchor = previous_row_nets[x - 1]
+                position = order.index(anchor)
+            else:
+                # The row above is shorter than this row: no anchor ball
+                # exists, so the net joins the tail (keeps within-row order).
+                position = len(order)
+            order.insert(position, net)
+        # Last ball of the row is appended at the very end.
+        if m > 1:
+            order.append(nets[m - 1])
+        return order

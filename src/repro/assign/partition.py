@@ -1,0 +1,147 @@
+"""Net-to-quadrant partitioning — the step before finger/pad assignment.
+
+The paper takes the quadrant partition as input (each net's bump ball is
+given).  In a full chip-package co-design flow someone must *produce* that
+partition from the chip's desired pad ring — the I/O-planning step the same
+authors treat in [13].  This module provides it: given the core's preferred
+pad order around the die and per-side capacities, cut the ring into four
+contiguous arcs (contiguity keeps bonding wires uncrossed) choosing the
+rotation that best aligns each net with its preferred die side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import AssignmentError
+from ..geometry import Side
+
+_RING_SIDES = (Side.BOTTOM, Side.RIGHT, Side.TOP, Side.LEFT)
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Desired quadrant capacities; ``None`` means "split evenly"."""
+
+    capacities: Optional[Dict[Side, int]] = None
+
+    def resolve(self, net_count: int) -> Dict[Side, int]:
+        if self.capacities is not None:
+            total = sum(self.capacities.values())
+            if total != net_count:
+                raise AssignmentError(
+                    f"capacities sum to {total}, but there are {net_count} nets"
+                )
+            if set(self.capacities) - set(_RING_SIDES):
+                raise AssignmentError("capacities reference unknown sides")
+            return {side: self.capacities.get(side, 0) for side in _RING_SIDES}
+        base = net_count // 4
+        result = {side: base for side in _RING_SIDES}
+        for index in range(net_count - 4 * base):
+            result[_RING_SIDES[index]] += 1
+        return result
+
+
+@dataclass
+class Partition:
+    """A net-to-side partition, in ring order within each side."""
+
+    sides: Dict[Side, List[int]] = field(default_factory=dict)
+
+    @property
+    def net_count(self) -> int:
+        return sum(len(nets) for nets in self.sides.values())
+
+    def side_of(self, net_id: int) -> Side:
+        for side, nets in self.sides.items():
+            if net_id in nets:
+                return side
+        raise AssignmentError(f"net {net_id} not in partition")
+
+    def mismatch(self, preferred: Dict[int, Side]) -> int:
+        """How many nets landed on a side other than their preference."""
+        wrong = 0
+        for side, nets in self.sides.items():
+            for net_id in nets:
+                if preferred.get(net_id, side) is not side:
+                    wrong += 1
+        return wrong
+
+
+def partition_ring(
+    ring_order: Sequence[int],
+    spec: Optional[PartitionSpec] = None,
+    preferred: Optional[Dict[int, Side]] = None,
+) -> Partition:
+    """Cut a pad ring into four contiguous arcs.
+
+    Parameters
+    ----------
+    ring_order:
+        Net ids in the core's preferred order around the die (the output of
+        core-side I/O planning), walking bottom -> right -> top -> left.
+    spec:
+        Per-side capacities; defaults to an even split.
+    preferred:
+        Optional ``{net_id: Side}`` preferences.  All rotations of the
+        contiguous cut are evaluated and the one with the fewest preference
+        mismatches wins (ties break towards rotation 0).
+    """
+    ring = list(ring_order)
+    if len(set(ring)) != len(ring):
+        raise AssignmentError("ring order contains duplicate nets")
+    if not ring:
+        raise AssignmentError("ring order is empty")
+    spec = spec or PartitionSpec()
+    capacities = spec.resolve(len(ring))
+
+    def cut(rotation: int) -> Partition:
+        rotated = ring[rotation:] + ring[:rotation]
+        partition = Partition()
+        cursor = 0
+        for side in _RING_SIDES:
+            count = capacities[side]
+            partition.sides[side] = rotated[cursor:cursor + count]
+            cursor += count
+        return partition
+
+    if not preferred:
+        return cut(0)
+
+    best = None
+    best_score = None
+    for rotation in range(len(ring)):
+        candidate = cut(rotation)
+        score = candidate.mismatch(preferred)
+        if best_score is None or score < best_score:
+            best, best_score = candidate, score
+            if score == 0:
+                break
+    return best
+
+
+def partition_to_rows(
+    partition: Partition,
+    rows_per_quadrant: int = 4,
+) -> Dict[Side, List[List[int]]]:
+    """Spread each side's nets over trapezoidal bump rows.
+
+    Returns ``{side: rows}`` ready for :class:`repro.package.BumpArray`
+    (outermost row first).  Nets fill the rows outer-to-inner in ring
+    order, so physically adjacent pads get physically adjacent balls.
+    """
+    from ..circuits.generator import trapezoid_rows
+
+    result: Dict[Side, List[List[int]]] = {}
+    for side, nets in partition.sides.items():
+        if not nets:
+            continue
+        sizes = trapezoid_rows(len(nets), min(rows_per_quadrant, len(nets)))
+        rows: List[List[int]] = []
+        cursor = 0
+        for size in sizes:
+            rows.append(list(nets[cursor:cursor + size]))
+            cursor += size
+        result[side] = rows
+    return result

@@ -1,0 +1,67 @@
+"""Test circuits: Table-1 designs, figure examples and the real-chip proxy."""
+
+from .figures import (
+    FIG5_DFA_ORDER,
+    FIG5_RANDOM_ORDER,
+    FIG10_IFA_ORDER,
+    FIG12_DI_TRACE,
+    fig5_quadrant,
+    fig13_quadrant,
+)
+from .generator import build_design, quadrant_net_counts, trapezoid_rows
+from .realchip import (
+    REALCHIP_SPEC,
+    Fig6Result,
+    boundary_demand,
+    build_realchip,
+    hotspot_current_map,
+    drop_map_demand,
+    optimized_plan,
+    random_plan,
+    realchip_grid_config,
+    regular_plan,
+    run_fig6,
+)
+from .spec import CircuitSpec
+from .table1 import (
+    CIRCUIT_1,
+    CIRCUIT_2,
+    CIRCUIT_3,
+    CIRCUIT_4,
+    CIRCUIT_5,
+    TABLE1_SPECS,
+    build_table1_designs,
+    table1_circuit,
+)
+
+__all__ = [
+    "CIRCUIT_1",
+    "CIRCUIT_2",
+    "CIRCUIT_3",
+    "CIRCUIT_4",
+    "CIRCUIT_5",
+    "CircuitSpec",
+    "FIG10_IFA_ORDER",
+    "FIG12_DI_TRACE",
+    "FIG5_DFA_ORDER",
+    "FIG5_RANDOM_ORDER",
+    "Fig6Result",
+    "REALCHIP_SPEC",
+    "TABLE1_SPECS",
+    "boundary_demand",
+    "build_design",
+    "build_realchip",
+    "build_table1_designs",
+    "fig13_quadrant",
+    "fig5_quadrant",
+    "hotspot_current_map",
+    "drop_map_demand",
+    "optimized_plan",
+    "quadrant_net_counts",
+    "random_plan",
+    "realchip_grid_config",
+    "regular_plan",
+    "run_fig6",
+    "table1_circuit",
+    "trapezoid_rows",
+]

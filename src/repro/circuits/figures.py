@@ -1,0 +1,58 @@
+"""The didactic examples of the paper's figures (Figs. 5, 10, 12, 13).
+
+The 12-net example of Figs. 5/10/12 is fully specified by the paper's text
+(finger orders, ball rows and published densities), so it is reconstructed
+exactly.  The 20-net example of Fig. 13 is only partially specified (the
+figure image carries the ball layout); we rebuild a 20-net, 4-level BGA with
+column-major net numbering that matches the published IFA order prefix and
+exhibits the same qualitative outcome (DFA strictly better than IFA).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..package import Quadrant, quadrant_from_rows
+
+#: The paper's random finger order of Fig. 5(A); its max density is 4.
+FIG5_RANDOM_ORDER: List[int] = [10, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0]
+
+#: The congestion-driven (DFA) order of Figs. 5(B)/12; max density 2.
+FIG5_DFA_ORDER: List[int] = [10, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]
+
+#: The IFA order of Fig. 10; max density 2.
+FIG10_IFA_ORDER: List[int] = [10, 1, 11, 2, 3, 6, 4, 5, 9, 7, 8, 0]
+
+#: Density interval trace DFA computes on the example (paper section 3.1.2).
+FIG12_DI_TRACE: List[float] = [1.8, 1.0, 0.0]
+
+
+def fig5_quadrant(**kwargs) -> Quadrant:
+    """The 12-net, 3-level example of Figs. 5, 10 and 12.
+
+    Bump rows (outermost first): ``[10, 2, 4, 7, 0]``, ``[1, 3, 5, 8]`` and
+    ``[11, 6, 9]`` (the paper's highest line y = 3).
+    """
+    return quadrant_from_rows(
+        [[10, 2, 4, 7, 0], [1, 3, 5, 8], [11, 6, 9]], **kwargs
+    )
+
+
+def fig13_quadrant(**kwargs) -> Quadrant:
+    """A 20-net, 4-level example in the spirit of Fig. 13.
+
+    Nets are numbered column-major over the ball array, as in the figure
+    (the IFA order begins ``13, 7, 3, 1, 14, 8, 4, 2, ...``, i.e. one net
+    per level before moving to the next column).  Rows, outermost first:
+    ``[13..20]`` is not literal — the exact published layout lives in the
+    figure image which the reproduction cannot access; this reconstruction
+    keeps the structure (20 nets, 4 levels, trapezoid) and the result
+    (DFA density < IFA density).
+    """
+    rows = [
+        [13, 14, 15, 16, 17, 18, 19, 20],  # outermost level
+        [7, 8, 9, 10, 11, 12],
+        [3, 4, 5, 6],
+        [1, 2],  # highest line, nearest the fingers
+    ]
+    return quadrant_from_rows(rows, **kwargs)

@@ -1,0 +1,150 @@
+"""Synthetic test-circuit generation.
+
+The paper evaluates on "five simplified industrial circuits" whose netlists
+are not published — Table 1 only gives finger counts and package dimensions.
+This generator builds deterministic synthetic equivalents: the finger count
+and package geometry are taken verbatim from the spec, bump rows form the
+trapezoidal quadrants of a real BGA, and supply pads are scattered over the
+ball array with a seeded RNG.  The assignment/routing/IR algorithms only see
+geometry and net types, which is exactly what Table 1 specifies, so the
+substitution preserves the behaviour being measured (see DESIGN.md,
+"Substitutions").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..errors import CircuitSpecError
+from ..geometry import Side
+from ..package import (
+    BumpArray,
+    FingerRow,
+    Net,
+    NetList,
+    NetType,
+    PackageDesign,
+    PackageTechnology,
+    Quadrant,
+    StackingConfig,
+)
+from .spec import CircuitSpec
+
+_SIDES = (Side.BOTTOM, Side.RIGHT, Side.TOP, Side.LEFT)
+
+
+def trapezoid_rows(net_count: int, row_count: int) -> List[int]:
+    """Ball count per row, outermost first, summing to *net_count*.
+
+    BGA quadrants are trapezoids: the package diagonals (the cut-lines of
+    Fig. 2) remove one ball from *each side* of every ring moving inwards,
+    so consecutive rows differ by two balls.
+    """
+    if net_count < row_count:
+        raise CircuitSpecError(
+            f"cannot spread {net_count} nets over {row_count} rows"
+        )
+    # Outermost row size m, then m-2, m-4, ...: sum = R*m - R*(R-1).
+    base = (net_count + row_count * (row_count - 1)) // row_count - 2 * (
+        row_count - 1
+    )
+    if base < 1:
+        # Too few nets for a full trapezoid: fall back to a near-even split.
+        sizes = [net_count // row_count] * row_count
+        for index in range(net_count - sum(sizes)):
+            sizes[index] += 1
+        return sorted(sizes, reverse=True)
+    sizes = [base + 2 * (row_count - row) for row in range(1, row_count + 1)]
+    remainder = net_count - sum(sizes)
+    for index in range(remainder):
+        sizes[index % row_count] += 1
+    return sorted(sizes, reverse=True)
+
+
+def quadrant_net_counts(spec: CircuitSpec) -> List[int]:
+    """Per-quadrant net counts; remainders go to the first sides."""
+    base = spec.finger_count // spec.quadrant_count
+    counts = [base] * spec.quadrant_count
+    for index in range(spec.finger_count - base * spec.quadrant_count):
+        counts[index] += 1
+    return counts
+
+
+def build_design(spec: CircuitSpec, seed: Optional[int] = 0) -> PackageDesign:
+    """Materialize a :class:`PackageDesign` from a circuit spec."""
+    rng = random.Random(seed)
+    technology = PackageTechnology(
+        bump_ball_space=spec.bump_ball_space,
+        finger_width=spec.finger_width,
+        finger_height=spec.finger_height,
+        finger_space=spec.finger_space,
+    )
+    stacking = StackingConfig(tier_count=spec.tier_count)
+
+    # Choose which global net indices are supply pads.  Real pad rings
+    # spread P/G pads over every package side, so the supply budget is
+    # split per quadrant first and then scattered inside each quadrant.
+    # Types follow the industry habit of banking power pairs: supply pads
+    # come in P,P,G,G runs around the ring — so a plan that only evens out
+    # the *union* of supply pads still leaves each individual network
+    # unbalanced (the effect the finger/pad exchange removes).
+    total = spec.finger_count
+    supply_count = round(total * spec.supply_fraction)
+    counts = quadrant_net_counts(spec)
+    power_set, ground_set = set(), set()
+    supply_seen = 0
+    offset = 0
+    for quadrant_index, count in enumerate(counts):
+        share = supply_count // len(counts)
+        if quadrant_index < supply_count % len(counts):
+            share += 1
+        share = min(share, count)
+        for local in sorted(rng.sample(range(count), share)):
+            if (supply_seen // 2) % 2 == 0:
+                power_set.add(offset + local)
+            else:
+                ground_set.add(offset + local)
+            supply_seen += 1
+        offset += count
+
+    quadrants = {}
+    next_id = 0
+    for side, count in zip(_SIDES, counts):
+        row_sizes = trapezoid_rows(count, min(spec.rows_per_quadrant, count))
+        nets = []
+        rows: List[List[int]] = []
+        for size in row_sizes:
+            row = []
+            for __ in range(size):
+                net_id = next_id
+                next_id += 1
+                if net_id in power_set:
+                    net_type = NetType.POWER
+                    name = f"VDD{net_id}"
+                elif net_id in ground_set:
+                    net_type = NetType.GROUND
+                    name = f"VSS{net_id}"
+                else:
+                    net_type = NetType.SIGNAL
+                    name = f"N{net_id}"
+                tier = rng.randrange(spec.tier_count) + 1 if spec.tier_count > 1 else 1
+                nets.append(Net(id=net_id, name=name, net_type=net_type, tier=tier))
+                row.append(net_id)
+            rows.append(row)
+        netlist = NetList(nets)
+        bumps = BumpArray(rows, pitch=technology.bump_pitch)
+        fingers = FingerRow(
+            slot_count=count,
+            width=technology.finger_width,
+            height=technology.finger_height,
+            space=technology.finger_space,
+        )
+        quadrants[side] = Quadrant(netlist, bumps, fingers=fingers, side=side)
+
+    return PackageDesign(
+        quadrants,
+        technology=technology,
+        stacking=stacking,
+        name=spec.name,
+    )

@@ -1,0 +1,95 @@
+"""The five test circuits of Table 1, with the published parameters.
+
+=========  ===========  ===============  ============  =============  ============
+Circuit    finger/pads  bump ball space  finger width  finger height  finger space
+=========  ===========  ===============  ============  =============  ============
+Circuit 1       96           2.0             0.025          0.4           0.025
+Circuit 2      160           1.4             0.006          0.3           0.1
+Circuit 3      208           1.2             0.006          0.2           0.007
+Circuit 4      352           1.2             0.1            0.2           0.12
+Circuit 5      448           1.2             0.1            0.2           0.12
+=========  ===========  ===============  ============  =============  ============
+
+All lengths in micrometres.  "The number of the horizontal (vertical) line in
+the bottom (left) and top (right) part of package architecture is set at 4",
+hence ``rows_per_quadrant = 4`` everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..package import PackageDesign
+from .generator import build_design
+from .spec import CircuitSpec
+
+CIRCUIT_1 = CircuitSpec(
+    name="circuit1",
+    finger_count=96,
+    bump_ball_space=2.0,
+    finger_width=0.025,
+    finger_height=0.4,
+    finger_space=0.025,
+)
+
+CIRCUIT_2 = CircuitSpec(
+    name="circuit2",
+    finger_count=160,
+    bump_ball_space=1.4,
+    finger_width=0.006,
+    finger_height=0.3,
+    finger_space=0.1,
+)
+
+CIRCUIT_3 = CircuitSpec(
+    name="circuit3",
+    finger_count=208,
+    bump_ball_space=1.2,
+    finger_width=0.006,
+    finger_height=0.2,
+    finger_space=0.007,
+)
+
+CIRCUIT_4 = CircuitSpec(
+    name="circuit4",
+    finger_count=352,
+    bump_ball_space=1.2,
+    finger_width=0.1,
+    finger_height=0.2,
+    finger_space=0.12,
+)
+
+CIRCUIT_5 = CircuitSpec(
+    name="circuit5",
+    finger_count=448,
+    bump_ball_space=1.2,
+    finger_width=0.1,
+    finger_height=0.2,
+    finger_space=0.12,
+)
+
+TABLE1_SPECS: List[CircuitSpec] = [
+    CIRCUIT_1,
+    CIRCUIT_2,
+    CIRCUIT_3,
+    CIRCUIT_4,
+    CIRCUIT_5,
+]
+
+
+def table1_circuit(index: int, tier_count: int = 1) -> CircuitSpec:
+    """Circuit spec by 1-based Table-1 index, optionally as a stacking IC."""
+    spec = TABLE1_SPECS[index - 1]
+    return spec.with_tiers(tier_count) if tier_count != 1 else spec
+
+
+def build_table1_designs(
+    tier_count: int = 1, seed: Optional[int] = 0
+) -> Dict[str, PackageDesign]:
+    """All five Table-1 designs, keyed by circuit name."""
+    return {
+        spec.name: build_design(
+            spec.with_tiers(tier_count) if tier_count != 1 else spec, seed=seed
+        )
+        for spec in TABLE1_SPECS
+    }

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``              print the test-circuit parameter table
+``table2``              run the Random/IFA/DFA comparison (Table 2)
+``table3``              run the exchange experiment (Table 3; slower)
+``fig6``                run the real-chip IR-drop comparison (Fig. 6)
+``assign <design.json>``   assign a JSON design and print the result
+``route <design.json>``    assign + route, optionally exporting an SVG
+``drc <design.json>``      design-rule check a JSON design
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .assign import DFAAssigner, IFAAssigner, RandomAssigner
+from .flow import compare_assigners, render_table1, render_table2
+from .routing import MonotonicRouter, max_density_of_design
+
+
+def _cmd_table1(args) -> int:
+    print(render_table1())
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .circuits import build_table1_designs
+
+    table = compare_assigners(build_table1_designs(), seed=args.seed)
+    print(render_table2(table))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from .circuits import build_design, table1_circuit
+    from .flow import CoDesignFlow, render_table3
+    from .power import PowerGridConfig
+
+    flow = CoDesignFlow(grid_config=PowerGridConfig(size=args.grid))
+    results = {}
+    for tiers in (1, 4):
+        runs = {}
+        for index in range(1, 6):
+            design = build_design(table1_circuit(index, tier_count=tiers), seed=0)
+            print(f"running {design.name} (psi={tiers})...", file=sys.stderr)
+            runs[design.name] = flow.run(design, seed=args.seed)
+        results[tiers] = runs
+    print(render_table3(results[1], results[4]))
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from .circuits import run_fig6
+    from .flow import render_fig6
+
+    print(render_fig6(run_fig6(seed=args.seed)))
+    return 0
+
+
+def _load(path):
+    from .io import load_design
+
+    return load_design(path)
+
+
+def _assigner(name: str):
+    return {
+        "random": RandomAssigner(),
+        "ifa": IFAAssigner(),
+        "dfa": DFAAssigner(),
+    }[name]
+
+
+def _cmd_assign(args) -> int:
+    design = _load(args.design)
+    assignments = _assigner(args.method).assign_design(design, seed=args.seed)
+    print(design.describe())
+    for side, assignment in assignments.items():
+        print(f"{side.value}: {assignment.order}")
+    print(f"max density: {max_density_of_design(assignments)}")
+    if args.output:
+        from .io import save_assignments
+
+        save_assignments(assignments, args.output)
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def _cmd_route(args) -> int:
+    design = _load(args.design)
+    assignments = _assigner(args.method).assign_design(design, seed=args.seed)
+    router = MonotonicRouter()
+    total_length = 0.0
+    worst = 0
+    for side, assignment in assignments.items():
+        result = router.route(assignment)
+        total_length += result.total_routed_length
+        worst = max(worst, result.max_density)
+        if args.svg:
+            from .io import save_routing_svg
+
+            path = f"{args.svg}_{side.value}.svg"
+            save_routing_svg(assignment, result, path)
+            print(f"wrote {path}")
+        if args.csv:
+            from .routing import write_routing_csv
+
+            path = f"{args.csv}_{side.value}.csv"
+            write_routing_csv(assignment, result, path)
+            print(f"wrote {path}")
+    print(f"max density: {worst}")
+    print(f"total routed length: {total_length:.2f} um")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .flow import generate_report
+
+    generate_report(
+        args.output,
+        seed=args.seed,
+        grid_size=args.grid,
+        include_table3=not args.quick,
+        include_fig6=not args.quick,
+    )
+    print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_drc(args) -> int:
+    from .package.validate import check_design
+
+    design = _load(args.design)
+    assignments = DFAAssigner().assign_design(design)
+    from .routing import max_density as quadrant_density
+
+    densities = {
+        side: quadrant_density(assignment)
+        for side, assignment in assignments.items()
+    }
+    report = check_design(design, max_density=densities)
+    print(report.render())
+    return 0 if report.is_clean else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Package routability- and IR-drop-aware finger/pad planning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1").set_defaults(func=_cmd_table1)
+
+    p2 = sub.add_parser("table2", help="run the Table-2 comparison")
+    p2.add_argument("--seed", type=int, default=42)
+    p2.set_defaults(func=_cmd_table2)
+
+    p3 = sub.add_parser("table3", help="run the Table-3 exchange experiment")
+    p3.add_argument("--seed", type=int, default=7)
+    p3.add_argument("--grid", type=int, default=32, help="power grid size")
+    p3.set_defaults(func=_cmd_table3)
+
+    p6 = sub.add_parser("fig6", help="run the Fig.-6 real-chip comparison")
+    p6.add_argument("--seed", type=int, default=2009)
+    p6.set_defaults(func=_cmd_fig6)
+
+    pa = sub.add_parser("assign", help="assign a JSON design")
+    pa.add_argument("design")
+    pa.add_argument("--method", choices=("random", "ifa", "dfa"), default="dfa")
+    pa.add_argument("--seed", type=int, default=0)
+    pa.add_argument("--output", help="write the assignment JSON here")
+    pa.set_defaults(func=_cmd_assign)
+
+    pr = sub.add_parser("route", help="assign and route a JSON design")
+    pr.add_argument("design")
+    pr.add_argument("--method", choices=("random", "ifa", "dfa"), default="dfa")
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--svg", help="SVG path prefix, one file per side")
+    pr.add_argument("--csv", help="per-net CSV path prefix, one file per side")
+    pr.set_defaults(func=_cmd_route)
+
+    pd = sub.add_parser("drc", help="design-rule check a JSON design")
+    pd.add_argument("design")
+    pd.set_defaults(func=_cmd_drc)
+
+    pp = sub.add_parser("report", help="regenerate the whole evaluation")
+    pp.add_argument("--output", default="results/REPORT.md")
+    pp.add_argument("--seed", type=int, default=7)
+    pp.add_argument("--grid", type=int, default=32)
+    pp.add_argument(
+        "--quick", action="store_true", help="skip the slow Table-3/Fig-6 runs"
+    )
+    pp.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

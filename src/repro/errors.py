@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric construction (negative sizes, empty grids, ...)."""
+
+
+class PackageModelError(ReproError):
+    """Inconsistent package model (duplicate nets, bad finger counts, ...)."""
+
+
+class AssignmentError(ReproError):
+    """An assignment algorithm was given inconsistent inputs."""
+
+
+class LegalityError(ReproError):
+    """An assignment violates the monotonic routing rule."""
+
+
+class RoutingError(ReproError):
+    """The monotonic router could not realize a (supposedly legal) order."""
+
+
+class PowerModelError(ReproError):
+    """Invalid power-grid configuration (no power pads, bad grid size, ...)."""
+
+
+class ExchangeError(ReproError):
+    """The finger/pad exchange step received an invalid configuration."""
+
+
+class CircuitSpecError(ReproError):
+    """A test-circuit specification is malformed."""
+
+
+class SerializationError(ReproError):
+    """A design could not be written to or read from disk."""

@@ -1,0 +1,38 @@
+"""Finger/pad exchange: SA engine, Eq.-3 cost, ID tracking and bonding metric."""
+
+from .annealer import SAParams, SAStats, SimulatedAnnealer
+from .bonding import (
+    bonding_improvement,
+    group_masks,
+    omega,
+    omega_of_assignment,
+    omega_of_design,
+)
+from .cost import CostWeights, ExchangeCost
+from .exchanger import ExchangeResult, FingerPadExchanger
+from .fastcost import CachedExchangeCost
+from .greedy import GreedyExchanger
+from .moves import MoveGenerator, SwapMove
+from .sections import DesignSectionTracker, SectionTracker, interval_numbers
+
+__all__ = [
+    "CachedExchangeCost",
+    "CostWeights",
+    "DesignSectionTracker",
+    "ExchangeCost",
+    "ExchangeResult",
+    "FingerPadExchanger",
+    "GreedyExchanger",
+    "MoveGenerator",
+    "SAParams",
+    "SAStats",
+    "SectionTracker",
+    "SimulatedAnnealer",
+    "SwapMove",
+    "bonding_improvement",
+    "group_masks",
+    "interval_numbers",
+    "omega",
+    "omega_of_assignment",
+    "omega_of_design",
+]

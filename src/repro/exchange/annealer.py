@@ -1,0 +1,141 @@
+"""Generic simulated-annealing engine (Kirkpatrick et al. [7]).
+
+The paper's finger/pad exchange (Fig. 14) is a classic SA loop: random
+neighbour move, Metropolis acceptance, geometric cooling.  This module
+provides the schedule and loop; problem specifics (move proposal, apply,
+undo, cost) come in as callables so the engine is reusable and testable in
+isolation.
+
+Note on acceptance: the paper's pseudocode writes the uphill test as
+``Random(0,1) > exp(-dC/T)`` which *rejects* with the Boltzmann probability —
+an obvious typo, as it would accept worse moves more eagerly the worse they
+are.  We implement the standard Metropolis criterion
+``Random(0,1) < exp(-dC/T)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class SAParams:
+    """Annealing schedule parameters (paper Fig. 14, line 2)."""
+
+    initial_temp: float = 0.03
+    final_temp: float = 1e-4
+    cooling: float = 0.95
+    moves_per_temp: int = 150
+
+    def __post_init__(self) -> None:
+        if self.initial_temp <= 0 or self.final_temp <= 0:
+            raise ValueError("temperatures must be positive")
+        if self.final_temp > self.initial_temp:
+            raise ValueError("final temperature must not exceed the initial one")
+        if not (0.0 < self.cooling < 1.0):
+            raise ValueError("cooling factor must be in (0, 1)")
+        if self.moves_per_temp < 1:
+            raise ValueError("moves_per_temp must be >= 1")
+
+    def temperature_steps(self) -> int:
+        """Number of cooling steps the schedule will execute."""
+        steps = math.ceil(
+            math.log(self.final_temp / self.initial_temp) / math.log(self.cooling)
+        )
+        return max(1, steps)
+
+    def total_moves(self) -> int:
+        """Total move attempts over the whole schedule."""
+        return self.temperature_steps() * self.moves_per_temp
+
+
+@dataclass
+class SAStats:
+    """Bookkeeping of one annealing run."""
+
+    proposed: int = 0
+    infeasible: int = 0
+    accepted: int = 0
+    accepted_uphill: int = 0
+    initial_cost: float = 0.0
+    final_cost: float = 0.0
+    best_cost: float = 0.0
+    cost_trace: List[float] = field(default_factory=list)
+    #: Snapshot of the best state seen (whatever the snapshot callable
+    #: returned); ``None`` when no snapshot callable was supplied.
+    best_snapshot: Optional[object] = None
+
+    @property
+    def acceptance_ratio(self) -> float:
+        feasible = self.proposed - self.infeasible
+        return self.accepted / feasible if feasible else 0.0
+
+
+class SimulatedAnnealer:
+    """Schedule-driven annealer over externally managed state.
+
+    The caller owns the state; the annealer drives it through callables:
+
+    ``propose(rng)``
+        Return an opaque move object, or ``None`` when no feasible move was
+        found this attempt.
+    ``apply(move)`` / ``undo(move)``
+        Mutate / revert the state.
+    ``cost()``
+        Current scalar cost of the state.
+    ``snapshot()`` (optional)
+        Capture the state; the best snapshot seen is stored on the stats
+        object as ``best_snapshot``.
+    """
+
+    def __init__(self, params: Optional[SAParams] = None) -> None:
+        self.params = params or SAParams()
+
+    def optimize(
+        self,
+        propose: Callable,
+        apply: Callable,
+        undo: Callable,
+        cost: Callable[[], float],
+        seed: Optional[int] = None,
+        snapshot: Optional[Callable] = None,
+    ) -> SAStats:
+        rng = random.Random(seed)
+        params = self.params
+        stats = SAStats()
+        current_cost = cost()
+        stats.initial_cost = current_cost
+        stats.best_cost = current_cost
+        best_snapshot = snapshot() if snapshot else None
+
+        temperature = params.initial_temp
+        while temperature > params.final_temp:
+            for __ in range(params.moves_per_temp):
+                stats.proposed += 1
+                move = propose(rng)
+                if move is None:
+                    stats.infeasible += 1
+                    continue
+                apply(move)
+                new_cost = cost()
+                delta = new_cost - current_cost
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    current_cost = new_cost
+                    stats.accepted += 1
+                    if delta > 0:
+                        stats.accepted_uphill += 1
+                    if current_cost < stats.best_cost:
+                        stats.best_cost = current_cost
+                        if snapshot:
+                            best_snapshot = snapshot()
+                else:
+                    undo(move)
+            stats.cost_trace.append(current_cost)
+            temperature *= params.cooling
+
+        stats.final_cost = current_cost
+        stats.best_snapshot = best_snapshot
+        return stats

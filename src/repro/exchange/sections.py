@@ -1,0 +1,104 @@
+"""Increased-density (ID) tracking for the exchange step (paper Eq. 2).
+
+Under monotonic routing the highest horizontal line carries the most wires,
+so the paper's exchange method only watches that line: the nets of the
+highest bump row split the finger sequence into sections, the *interval
+number* ``I_c`` of a section is how many other nets currently sit in it, and
+
+    ID = max_c (I_c_new - I_c_ini)
+
+is the density increase since the congestion-driven assignment (Eq. 2).
+
+This module implements both the paper's top-line-only tracker and a
+generalized tracker that applies the same section bookkeeping to *every*
+horizontal line (the runs of :func:`repro.routing.density.run_partition`).
+After DFA the top line sits at its congestion floor, so on our substrate the
+density growth the exchange causes shows up on the lower lines — watching
+all lines implements the paper's intent (suppress the density increase)
+without its blind spot.  ``benchmarks/bench_ablation.py`` quantifies the
+difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..assign import Assignment
+from ..errors import ExchangeError
+from ..routing.density import run_partition
+
+
+def interval_numbers(assignment: Assignment) -> List[int]:
+    """The paper's interval numbers ``I_1 .. I_{x+1}`` (top line only).
+
+    ``x`` recorded nets (the highest bump row) divide the finger sequence
+    into ``x + 1`` sections: before the first recorded net, between
+    consecutive recorded nets, and after the last one.
+    """
+    quadrant = assignment.quadrant
+    top_nets = quadrant.highest_row_nets()
+    top_slots = sorted(assignment.slot_of(net_id) for net_id in top_nets)
+    counts: List[int] = []
+    previous = 0
+    for slot in top_slots:
+        counts.append(slot - previous - 1)
+        previous = slot
+    counts.append(assignment.slot_count - previous)
+    return counts
+
+
+def _row_counts(assignment: Assignment, rows: List[int]) -> List[List[int]]:
+    """Wire counts per run for each watched row."""
+    return [
+        [wires for wires, __ in run_partition(assignment, row)] for row in rows
+    ]
+
+
+class SectionTracker:
+    """Tracks Eq. 2's ID for one quadrant against a recorded baseline.
+
+    ``all_rows=False`` reproduces the paper's top-line-only bookkeeping;
+    the default watches every horizontal line.
+    """
+
+    def __init__(self, baseline: Assignment, all_rows: bool = True) -> None:
+        self.quadrant = baseline.quadrant
+        if all_rows:
+            self.rows = list(range(2, self.quadrant.row_count + 1)) or [
+                self.quadrant.row_count
+            ]
+        else:
+            self.rows = [self.quadrant.row_count]
+        self.initial = _row_counts(baseline, self.rows)
+
+    def increased_density(self, assignment: Assignment) -> int:
+        """``max (I_new - I_ini)`` over every watched section."""
+        if assignment.quadrant is not self.quadrant:
+            raise ExchangeError("tracker used with a different quadrant")
+        current = _row_counts(assignment, self.rows)
+        worst = None
+        for new_row, old_row in zip(current, self.initial):
+            if len(new_row) != len(old_row):
+                raise ExchangeError("section count changed — corrupted assignment")
+            for new, old in zip(new_row, old_row):
+                delta = new - old
+                if worst is None or delta > worst:
+                    worst = delta
+        return worst if worst is not None else 0
+
+
+class DesignSectionTracker:
+    """Aggregates per-quadrant trackers; the cost uses the worst section."""
+
+    def __init__(self, baseline_assignments: Dict, all_rows: bool = True) -> None:
+        self.trackers = {
+            side: SectionTracker(assignment, all_rows=all_rows)
+            for side, assignment in baseline_assignments.items()
+        }
+
+    def increased_density(self, assignments: Dict) -> int:
+        """Worst ID across every quadrant of the design."""
+        return max(
+            tracker.increased_density(assignments[side])
+            for side, tracker in self.trackers.items()
+        )

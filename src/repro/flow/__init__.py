@@ -1,0 +1,39 @@
+"""End-to-end co-design flow, comparison engine and report rendering."""
+
+from .codesign import CoDesignFlow, CoDesignResult
+from .compare import AssignerRun, ComparisonTable, compare_assigners
+from .full_report import generate_report
+from .experiments import SeedSweep, Statistic, codesign_experiment, sweep_seeds
+from .metrics import DesignMetrics, improvement_ratio, measure
+from .pareto import TradeoffCurve, TradeoffPoint, sweep_density_weight
+from .report import (
+    render_fig6,
+    render_irdrop_mv,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "AssignerRun",
+    "CoDesignFlow",
+    "CoDesignResult",
+    "ComparisonTable",
+    "DesignMetrics",
+    "SeedSweep",
+    "Statistic",
+    "codesign_experiment",
+    "generate_report",
+    "TradeoffCurve",
+    "TradeoffPoint",
+    "sweep_density_weight",
+    "sweep_seeds",
+    "compare_assigners",
+    "improvement_ratio",
+    "measure",
+    "render_fig6",
+    "render_irdrop_mv",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]

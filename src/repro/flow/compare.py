@@ -1,0 +1,113 @@
+"""Assigner comparison engine — the machinery behind Table 2.
+
+Runs Random / IFA / DFA over a set of designs and collects max density and
+flyline wirelength for each, plus the averaged ratios the paper's last table
+row reports (Random normalized to 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..assign import Assigner, BestOfRandomAssigner, DFAAssigner, IFAAssigner
+from ..package import PackageDesign
+from ..routing import (
+    max_density_of_design,
+    route_design,
+    total_flyline_length_of_design,
+)
+
+
+@dataclass
+class AssignerRun:
+    """Result of one assigner on one design.
+
+    ``wirelength`` is the realized routed length (polyline over both layers,
+    the quantity the paper's Table 2 tracks — "the routing path is near to
+    the straight line" for good assignments); ``flyline_length`` is the
+    straight finger->via->ball lower bound.
+    """
+
+    circuit: str
+    assigner: str
+    max_density: int
+    wirelength: float
+    flyline_length: float = 0.0
+
+
+@dataclass
+class ComparisonTable:
+    """All runs plus the paper-style averaged ratios."""
+
+    runs: List[AssignerRun] = field(default_factory=list)
+    baseline: str = "Random"
+
+    def circuits(self) -> List[str]:
+        seen: List[str] = []
+        for run in self.runs:
+            if run.circuit not in seen:
+                seen.append(run.circuit)
+        return seen
+
+    def assigners(self) -> List[str]:
+        seen: List[str] = []
+        for run in self.runs:
+            if run.assigner not in seen:
+                seen.append(run.assigner)
+        return seen
+
+    def cell(self, circuit: str, assigner: str) -> AssignerRun:
+        for run in self.runs:
+            if run.circuit == circuit and run.assigner == assigner:
+                return run
+        raise KeyError(f"no run for ({circuit}, {assigner})")
+
+    def average_density_ratio(self, assigner: str) -> float:
+        """Mean of per-circuit density ratios vs the baseline (Table 2 row)."""
+        ratios = []
+        for circuit in self.circuits():
+            base = self.cell(circuit, self.baseline).max_density
+            value = self.cell(circuit, assigner).max_density
+            if base > 0:
+                ratios.append(value / base)
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+    def average_wirelength_ratio(self, assigner: str) -> float:
+        """Mean of per-circuit wirelength ratios vs the baseline."""
+        ratios = []
+        for circuit in self.circuits():
+            base = self.cell(circuit, self.baseline).wirelength
+            value = self.cell(circuit, assigner).wirelength
+            if base > 0:
+                ratios.append(value / base)
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+def compare_assigners(
+    designs: Dict[str, PackageDesign],
+    assigners: Optional[Sequence[Assigner]] = None,
+    seed: Optional[int] = 0,
+) -> ComparisonTable:
+    """Run every assigner on every design (the Table-2 experiment)."""
+    if assigners is None:
+        # The paper's baseline is the "randomly optimized method": a random
+        # legal order given a handful of attempts.
+        assigners = (BestOfRandomAssigner(trials=3), IFAAssigner(), DFAAssigner())
+    table = ComparisonTable(baseline=assigners[0].name)
+    for circuit_name, design in designs.items():
+        for assigner in assigners:
+            assignments = assigner.assign_design(design, seed=seed)
+            routed = route_design(assignments)
+            table.runs.append(
+                AssignerRun(
+                    circuit=circuit_name,
+                    assigner=assigner.name,
+                    max_density=max_density_of_design(assignments),
+                    wirelength=sum(
+                        result.total_routed_length for result in routed.values()
+                    ),
+                    flyline_length=total_flyline_length_of_design(assignments),
+                )
+            )
+    return table

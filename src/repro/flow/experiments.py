@@ -1,0 +1,112 @@
+"""Multi-seed experiment running and statistics.
+
+Single-seed results of a randomized flow can mislead; this module reruns an
+experiment over a seed set and reports mean / standard deviation / extrema —
+what a reviewer would ask of Table 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class Statistic:
+    """Summary of one scalar metric over a seed set."""
+
+    name: str
+    values: tuple
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1)
+        )
+
+    @property
+    def min(self) -> float:
+        return min(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+    def render(self) -> str:
+        return (
+            f"{self.name}: mean {self.mean:.4f} +/- {self.std:.4f} "
+            f"(min {self.min:.4f}, max {self.max:.4f}, n={self.count})"
+        )
+
+
+@dataclass
+class SeedSweep:
+    """Results of one experiment function over several seeds."""
+
+    metrics: Dict[str, Statistic] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Statistic:
+        return self.metrics[name]
+
+    def render(self) -> str:
+        return "\n".join(stat.render() for stat in self.metrics.values())
+
+
+def sweep_seeds(
+    experiment: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+) -> SeedSweep:
+    """Run ``experiment(seed) -> {metric: value}`` for every seed.
+
+    Every run must return the same metric keys; the sweep aggregates each
+    metric into a :class:`Statistic`.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    collected: Dict[str, List[float]] = {}
+    keys = None
+    for seed in seeds:
+        result = experiment(seed)
+        if keys is None:
+            keys = set(result)
+        elif set(result) != keys:
+            raise ValueError(
+                f"seed {seed} returned metrics {sorted(result)} != {sorted(keys)}"
+            )
+        for name, value in result.items():
+            collected.setdefault(name, []).append(float(value))
+    sweep = SeedSweep()
+    for name, values in collected.items():
+        sweep.metrics[name] = Statistic(name=name, values=tuple(values))
+    return sweep
+
+
+def codesign_experiment(design, flow, metric_grid=None):
+    """Factory: a seed-indexed experiment over one design and flow.
+
+    Returns a callable suitable for :func:`sweep_seeds`, reporting the
+    headline Table-3 metrics.
+    """
+
+    def run(seed: int) -> Dict[str, float]:
+        result = flow.run(design, seed=seed)
+        return {
+            "density_after_assignment": result.density_after_assignment,
+            "density_after_exchange": result.density_after_exchange,
+            "ir_improvement": result.ir_improvement,
+            "bonding_improvement": result.bonding_improvement,
+        }
+
+    return run

@@ -1,0 +1,131 @@
+"""Plain-text table rendering in the layout of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..circuits import TABLE1_SPECS
+from ..units import to_mv
+from .compare import ComparisonTable
+
+
+def _render(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    """Table 1: the experimental data of the test circuits."""
+    headers = [
+        "Input case",
+        "Finger/pad counts",
+        "Bump ball space (um)",
+        "Finger width (um)",
+        "Finger height (um)",
+        "Finger space (um)",
+    ]
+    rows = [
+        [
+            spec.name,
+            str(spec.finger_count),
+            f"{spec.bump_ball_space:g}",
+            f"{spec.finger_width:g}",
+            f"{spec.finger_height:g}",
+            f"{spec.finger_space:g}",
+        ]
+        for spec in TABLE1_SPECS
+    ]
+    return _render(headers, rows)
+
+
+def render_table2(table: ComparisonTable) -> str:
+    """Table 2: max density and wirelength for Random / IFA / DFA."""
+    assigners = table.assigners()
+    headers = ["Input case"]
+    headers += [f"density {name}" for name in assigners]
+    headers += [f"WL(um) {name}" for name in assigners]
+    rows: List[List[str]] = []
+    for circuit in table.circuits():
+        row = [circuit]
+        for name in assigners:
+            row.append(str(table.cell(circuit, name).max_density))
+        for name in assigners:
+            row.append(f"{table.cell(circuit, name).wirelength:,.0f}")
+        rows.append(row)
+    average = ["Average"]
+    for name in assigners:
+        average.append(f"{table.average_density_ratio(name):.2f}")
+    for name in assigners:
+        average.append(f"{table.average_wirelength_ratio(name):.2f}")
+    rows.append(average)
+    return _render(headers, rows)
+
+
+def render_table3(results_2d: Dict, results_stacked: Dict) -> str:
+    """Table 3: exchange results for 2-D (psi=1) and stacking (psi=4) ICs.
+
+    Both arguments map circuit names to :class:`CoDesignResult`.
+    """
+    headers = [
+        "Input case",
+        "dens after DFA (2D)",
+        "dens after exch (2D)",
+        "impr IR-drop % (2D)",
+        "dens after DFA (psi=4)",
+        "dens after exch (psi=4)",
+        "impr IR-drop % (psi=4)",
+        "impr bonding wire %",
+    ]
+    rows: List[List[str]] = []
+    for circuit in results_2d:
+        flat = results_2d[circuit]
+        stacked = results_stacked[circuit]
+        rows.append(
+            [
+                circuit,
+                str(flat.density_after_assignment),
+                str(flat.density_after_exchange),
+                f"{flat.ir_improvement * 100:.2f}",
+                str(stacked.density_after_assignment),
+                str(stacked.density_after_exchange),
+                f"{stacked.ir_improvement * 100:.2f}",
+                f"{stacked.bonding_improvement * 100:.2f}",
+            ]
+        )
+    count = max(len(results_2d), 1)
+    rows.append(
+        [
+            "Average improvement",
+            "",
+            "",
+            f"{sum(r.ir_improvement for r in results_2d.values()) / count * 100:.2f}",
+            "",
+            "",
+            f"{sum(r.ir_improvement for r in results_stacked.values()) / count * 100:.2f}",
+            f"{sum(r.bonding_improvement for r in results_stacked.values()) / count * 100:.2f}",
+        ]
+    )
+    return _render(headers, rows)
+
+
+def render_fig6(result) -> str:
+    """Fig. 6: the real-chip IR-drop comparison."""
+    headers = ["Plan", "measured (mV)", "paper (mV)"]
+    rows = [
+        [name, f"{measured:.1f}", f"{paper:.1f}"]
+        for name, measured, paper in result.as_rows()
+    ]
+    return _render(headers, rows)
+
+
+def render_irdrop_mv(drop_volts: float) -> str:
+    """Format an IR-drop value the way the paper quotes it."""
+    return f"{to_mv(drop_volts):.1f} mV"

@@ -1,0 +1,19 @@
+"""Geometry primitives: points, rectangles, segments, grids and transforms."""
+
+from .grid import GridSpec
+from .point import ORIGIN, Point
+from .rect import Rect
+from .segment import Segment
+from .transform import Side, canonical_to_side, rotate_quarters, side_to_canonical
+
+__all__ = [
+    "ORIGIN",
+    "GridSpec",
+    "Point",
+    "Rect",
+    "Segment",
+    "Side",
+    "canonical_to_side",
+    "rotate_quarters",
+    "side_to_canonical",
+]

@@ -1,0 +1,81 @@
+"""Regular-grid helpers for bump-ball arrays and power-grid meshes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..errors import GeometryError
+from .point import Point
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A uniform rectangular grid of ``cols`` x ``rows`` sites.
+
+    Site ``(col, row)`` with 1-based indices maps to the physical point
+    ``origin + ((col-1)*pitch_x, (row-1)*pitch_y)``.  Bump-ball arrays, via
+    candidate sites and the FD power mesh are all instances of this.
+    """
+
+    cols: int
+    rows: int
+    pitch_x: float
+    pitch_y: float
+    origin_x: float = 0.0
+    origin_y: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cols < 1 or self.rows < 1:
+            raise GeometryError(f"grid must be at least 1x1, got {self.cols}x{self.rows}")
+        if self.pitch_x <= 0 or self.pitch_y <= 0:
+            raise GeometryError(
+                f"grid pitch must be positive, got {self.pitch_x}x{self.pitch_y}"
+            )
+
+    @property
+    def site_count(self) -> int:
+        return self.cols * self.rows
+
+    @property
+    def width(self) -> float:
+        """Physical width spanned by the site centres."""
+        return (self.cols - 1) * self.pitch_x
+
+    @property
+    def height(self) -> float:
+        """Physical height spanned by the site centres."""
+        return (self.rows - 1) * self.pitch_y
+
+    def point_at(self, col: int, row: int) -> Point:
+        """Physical location of site ``(col, row)`` (1-based indices)."""
+        self._check(col, row)
+        return Point(
+            self.origin_x + (col - 1) * self.pitch_x,
+            self.origin_y + (row - 1) * self.pitch_y,
+        )
+
+    def _check(self, col: int, row: int) -> None:
+        if not (1 <= col <= self.cols and 1 <= row <= self.rows):
+            raise GeometryError(
+                f"site ({col},{row}) outside grid {self.cols}x{self.rows}"
+            )
+
+    def sites(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all ``(col, row)`` indices, row-major, bottom-up."""
+        for row in range(1, self.rows + 1):
+            for col in range(1, self.cols + 1):
+                yield (col, row)
+
+    def row_sites(self, row: int) -> List[Tuple[int, int]]:
+        """All site indices of one row, left to right."""
+        self._check(1, row)
+        return [(col, row) for col in range(1, self.cols + 1)]
+
+    def nearest_site(self, point: Point) -> Tuple[int, int]:
+        """The grid site whose centre is nearest to *point* (clamped)."""
+        col = round((point.x - self.origin_x) / self.pitch_x) + 1
+        row = round((point.y - self.origin_y) / self.pitch_y) + 1
+        col = min(max(col, 1), self.cols)
+        row = min(max(row, 1), self.rows)
+        return (int(col), int(row))

@@ -1,0 +1,80 @@
+"""2-D point/vector primitive used throughout the package model."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable 2-D point (or vector) in micrometres.
+
+    Ordering is lexicographic ``(x, y)`` which is convenient for sorting via
+    and bump-ball positions left-to-right, bottom-to-top.
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+    def manhattan(self, other: "Point") -> float:
+        """Manhattan (L1) distance to *other*."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean(self, other: "Point") -> float:
+        """Euclidean (L2) distance to *other* — the paper's "direct flyline"."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def chebyshev(self, other: "Point") -> float:
+        """Chebyshev (L-inf) distance to *other*."""
+        return max(abs(self.x - other.x), abs(self.y - other.y))
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The point halfway between ``self`` and *other*."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def norm(self) -> float:
+        """Euclidean length when the point is interpreted as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def dot(self, other: "Point") -> float:
+        """Dot product with *other* (vector interpretation)."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """2-D cross product (z component) with *other*."""
+        return self.x * other.y - self.y * other.x
+
+    def is_close(self, other: "Point", tol: float = 1e-9) -> bool:
+        """True when both coordinates match within *tol*."""
+        return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
+
+
+ORIGIN = Point(0.0, 0.0)

@@ -1,0 +1,90 @@
+"""Axis-aligned rectangle primitive (die outlines, finger shapes, ...)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+from .point import Point
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle defined by its lower-left corner and size."""
+
+    llx: float
+    lly: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise GeometryError(
+                f"Rect size must be non-negative, got {self.width}x{self.height}"
+            )
+
+    @classmethod
+    def from_corners(cls, lower_left: Point, upper_right: Point) -> "Rect":
+        """Build a rectangle from two opposite corners (any order)."""
+        llx = min(lower_left.x, upper_right.x)
+        lly = min(lower_left.y, upper_right.y)
+        urx = max(lower_left.x, upper_right.x)
+        ury = max(lower_left.y, upper_right.y)
+        return cls(llx, lly, urx - llx, ury - lly)
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> "Rect":
+        """Build a rectangle centred on *center*."""
+        return cls(center.x - width / 2.0, center.y - height / 2.0, width, height)
+
+    @property
+    def urx(self) -> float:
+        return self.llx + self.width
+
+    @property
+    def ury(self) -> float:
+        return self.lly + self.height
+
+    @property
+    def center(self) -> Point:
+        return Point(self.llx + self.width / 2.0, self.lly + self.height / 2.0)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def lower_left(self) -> Point:
+        return Point(self.llx, self.lly)
+
+    @property
+    def upper_right(self) -> Point:
+        return Point(self.urx, self.ury)
+
+    def contains(self, point: Point, tol: float = 0.0) -> bool:
+        """True when *point* lies inside (or on the border of) the rectangle."""
+        return (
+            self.llx - tol <= point.x <= self.urx + tol
+            and self.lly - tol <= point.y <= self.ury + tol
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rectangles overlap (border contact counts)."""
+        return not (
+            self.urx < other.llx
+            or other.urx < self.llx
+            or self.ury < other.lly
+            or other.ury < self.lly
+        )
+
+    def inflated(self, margin: float) -> "Rect":
+        """A copy grown by *margin* on every side (negative shrinks)."""
+        new_w = self.width + 2 * margin
+        new_h = self.height + 2 * margin
+        if new_w < 0 or new_h < 0:
+            raise GeometryError(f"inflating by {margin} makes the rect negative")
+        return Rect(self.llx - margin, self.lly - margin, new_w, new_h)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """A copy of this rectangle shifted by ``(dx, dy)``."""
+        return Rect(self.llx + dx, self.lly + dy, self.width, self.height)

@@ -1,0 +1,64 @@
+"""Line-segment primitive used for routed wire pieces and flylines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .point import Point
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A straight wire piece from :attr:`a` to :attr:`b`."""
+
+    a: Point
+    b: Point
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.a.euclidean(self.b)
+
+    @property
+    def manhattan_length(self) -> float:
+        """Manhattan length of the segment."""
+        return self.a.manhattan(self.b)
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self.a.y == self.b.y
+
+    @property
+    def is_vertical(self) -> bool:
+        return self.a.x == self.b.x
+
+    @property
+    def midpoint(self) -> Point:
+        return self.a.midpoint(self.b)
+
+    def reversed(self) -> "Segment":
+        """The same segment traversed in the opposite direction."""
+        return Segment(self.b, self.a)
+
+    def crosses_horizontal_line(self, y: float) -> bool:
+        """True when the segment crosses (or touches) the horizontal line *y*.
+
+        This is the primitive behind the monotonic-routing property: a
+        monotonic wire crosses every horizontal grid line at most once.
+        """
+        lo, hi = sorted((self.a.y, self.b.y))
+        return lo <= y <= hi
+
+    def x_at_y(self, y: float) -> Optional[float]:
+        """X coordinate where the segment crosses height *y*.
+
+        Returns ``None`` when the segment does not reach *y*, or when the
+        segment is horizontal at exactly that height (no unique crossing).
+        """
+        if not self.crosses_horizontal_line(y):
+            return None
+        if self.a.y == self.b.y:
+            return None
+        t = (y - self.a.y) / (self.b.y - self.a.y)
+        return self.a.x + t * (self.b.x - self.a.x)

@@ -1,0 +1,79 @@
+"""Quadrant transforms.
+
+The package area is partitioned into four triangular quadrants (paper Fig. 2)
+and each quadrant is solved independently in a canonical frame where the
+fingers sit at the top and bump-ball rows extend downwards.  These transforms
+rotate a canonical-frame point into the physical frame of each side of the
+package and back.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict
+
+from .point import Point
+
+
+class Side(enum.Enum):
+    """The four sides of the package, i.e. the four triangular quadrants."""
+
+    BOTTOM = "bottom"
+    RIGHT = "right"
+    TOP = "top"
+    LEFT = "left"
+
+    @property
+    def rotation_quarters(self) -> int:
+        """Number of 90-degree CCW quarter turns from the canonical frame.
+
+        The canonical frame is the BOTTOM quadrant (fingers above, bump rows
+        below them, outward = -y).
+        """
+        order = {Side.BOTTOM: 0, Side.RIGHT: 1, Side.TOP: 2, Side.LEFT: 3}
+        return order[self]
+
+
+def _rot0(p: Point) -> Point:
+    return p
+
+
+def _rot90(p: Point) -> Point:
+    return Point(-p.y, p.x)
+
+
+def _rot180(p: Point) -> Point:
+    return Point(-p.x, -p.y)
+
+
+def _rot270(p: Point) -> Point:
+    return Point(p.y, -p.x)
+
+
+_ROTATIONS: Dict[int, Callable[[Point], Point]] = {
+    0: _rot0,
+    1: _rot90,
+    2: _rot180,
+    3: _rot270,
+}
+
+
+def rotate_quarters(point: Point, quarters: int) -> Point:
+    """Rotate *point* by ``quarters`` 90-degree CCW turns about the origin."""
+    return _ROTATIONS[quarters % 4](point)
+
+
+def canonical_to_side(point: Point, side: Side, package_center: Point) -> Point:
+    """Map a canonical-frame point to the physical frame of *side*.
+
+    The canonical frame places the package centre at the origin; the physical
+    frame translates it to *package_center*.
+    """
+    rotated = rotate_quarters(point, side.rotation_quarters)
+    return rotated + package_center
+
+
+def side_to_canonical(point: Point, side: Side, package_center: Point) -> Point:
+    """Inverse of :func:`canonical_to_side`."""
+    centered = point - package_center
+    return rotate_quarters(centered, -side.rotation_quarters % 4)

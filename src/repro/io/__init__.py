@@ -1,0 +1,30 @@
+"""Serialization and rendering: JSON designs, CSV results, SVG routing."""
+
+from .csvio import read_rows, write_codesign_csv, write_comparison_csv
+from .jsonio import (
+    assignments_from_dict,
+    assignments_to_dict,
+    design_from_dict,
+    design_to_dict,
+    load_assignments,
+    load_design,
+    save_assignments,
+    save_design,
+)
+from .svg import routing_to_svg, save_routing_svg
+
+__all__ = [
+    "assignments_from_dict",
+    "assignments_to_dict",
+    "design_from_dict",
+    "design_to_dict",
+    "load_assignments",
+    "load_design",
+    "read_rows",
+    "routing_to_svg",
+    "save_assignments",
+    "save_design",
+    "save_routing_svg",
+    "write_codesign_csv",
+    "write_comparison_csv",
+]

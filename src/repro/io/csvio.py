@@ -1,0 +1,73 @@
+"""CSV export of experiment results (easy to diff / plot downstream)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Union
+
+from ..flow.compare import ComparisonTable
+
+
+def write_comparison_csv(
+    table: ComparisonTable, path: Union[str, Path]
+) -> None:
+    """Write a Table-2-style assigner comparison as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["circuit", "assigner", "max_density", "wirelength", "flyline_length"]
+        )
+        for run in table.runs:
+            writer.writerow(
+                [
+                    run.circuit,
+                    run.assigner,
+                    run.max_density,
+                    f"{run.wirelength:.3f}",
+                    f"{run.flyline_length:.3f}",
+                ]
+            )
+
+
+def write_codesign_csv(results: Dict, path: Union[str, Path]) -> None:
+    """Write Table-3-style co-design results as CSV.
+
+    ``results`` maps circuit names to
+    :class:`repro.flow.codesign.CoDesignResult`.
+    """
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "circuit",
+                "density_after_assignment",
+                "density_after_exchange",
+                "ir_drop_before_v",
+                "ir_drop_after_v",
+                "ir_improvement",
+                "omega_before",
+                "omega_after",
+                "bonding_improvement",
+            ]
+        )
+        for circuit, result in results.items():
+            writer.writerow(
+                [
+                    circuit,
+                    result.density_after_assignment,
+                    result.density_after_exchange,
+                    f"{result.metrics_initial.max_ir_drop:.6f}",
+                    f"{result.metrics_final.max_ir_drop:.6f}",
+                    f"{result.ir_improvement:.4f}",
+                    result.exchange.omega_before,
+                    result.exchange.omega_after,
+                    f"{result.bonding_improvement:.4f}",
+                ]
+            )
+
+
+def read_rows(path: Union[str, Path]):
+    """Read a CSV written by this module back as a list of dicts."""
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))

@@ -1,0 +1,85 @@
+"""Finger row geometry.
+
+Fingers (called *landing pads* in some package literature) are the package
+side of the bonding wires.  Within one quadrant they form a single row of
+``slot_count`` regularly spaced slots directly above the bump-ball trapezoid
+in the canonical frame.  The paper assumes the finger order and the chip pad
+order are identical, so a finger slot also identifies a chip pad position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PackageModelError
+from ..geometry import Point, Rect
+
+
+@dataclass(frozen=True)
+class FingerRow:
+    """A row of finger slots in the canonical quadrant frame.
+
+    Attributes
+    ----------
+    slot_count:
+        Number of finger slots (== number of nets in the quadrant).
+    width / height:
+        Physical finger dimensions (Table 1 columns).
+    space:
+        Gap between two adjacent fingers (Table 1's "finger space").
+    y:
+        Y coordinate of the finger row centreline; the bump rows extend
+        downwards from it.
+    """
+
+    slot_count: int
+    width: float = 0.1
+    height: float = 0.2
+    space: float = 0.1
+    y: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slot_count < 1:
+            raise PackageModelError(
+                f"finger row needs at least one slot, got {self.slot_count}"
+            )
+        if self.width <= 0 or self.height <= 0:
+            raise PackageModelError(
+                f"finger size must be positive, got {self.width}x{self.height}"
+            )
+        if self.space < 0:
+            raise PackageModelError(f"finger space must be >= 0, got {self.space}")
+
+    @property
+    def pitch(self) -> float:
+        """Centre-to-centre distance of adjacent fingers."""
+        return self.width + self.space
+
+    @property
+    def extent(self) -> float:
+        """Total width of the finger row."""
+        return self.slot_count * self.width + (self.slot_count - 1) * self.space
+
+    def slot_position(self, slot: int) -> Point:
+        """Physical centre of finger slot *slot* (1-based, left to right).
+
+        The row is centred on x = 0, matching the centred bump trapezoid.
+        """
+        self._check_slot(slot)
+        x = (slot - (self.slot_count + 1) / 2.0) * self.pitch
+        return Point(x, self.y)
+
+    def slot_rect(self, slot: int) -> Rect:
+        """Physical outline of finger slot *slot*."""
+        return Rect.from_center(self.slot_position(slot), self.width, self.height)
+
+    def nearest_slot(self, x: float) -> int:
+        """The slot whose centre is nearest to coordinate *x* (clamped)."""
+        raw = round(x / self.pitch + (self.slot_count + 1) / 2.0)
+        return int(min(max(raw, 1), self.slot_count))
+
+    def _check_slot(self, slot: int) -> None:
+        if not (1 <= slot <= self.slot_count):
+            raise PackageModelError(
+                f"finger slot {slot} outside 1..{self.slot_count}"
+            )

@@ -1,0 +1,123 @@
+"""Nets: the signals/supplies that must be carried from pads to bump balls."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from ..errors import PackageModelError
+
+
+class NetType(enum.Enum):
+    """Electrical role of a net.
+
+    The exchange step (paper Fig. 14) treats power pads specially: in a 2-D IC
+    only power pads are moved, because only they influence core IR-drop.
+    ``GROUND`` nets are supply pads as well; the IR-drop analyzer can be run on
+    either the VDD or the VSS network.
+    """
+
+    SIGNAL = "signal"
+    POWER = "power"
+    GROUND = "ground"
+
+    @property
+    def is_supply(self) -> bool:
+        """True for power/ground nets — the pads that matter for IR-drop."""
+        return self is not NetType.SIGNAL
+
+
+@dataclass(frozen=True)
+class Net:
+    """A net to be assigned to one finger/pad and one bump ball.
+
+    Attributes
+    ----------
+    id:
+        Dense integer identifier, unique within a design.
+    name:
+        Human-readable name (``"N42"``, ``"VDD3"``, ...).
+    net_type:
+        Signal / power / ground role.
+    tier:
+        Die tier carrying this net's pad, ``1..psi`` (paper section 3.2).
+        A 2-D IC has every net on tier 1.
+    """
+
+    id: int
+    name: str
+    net_type: NetType = NetType.SIGNAL
+    tier: int = 1
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise PackageModelError(f"net id must be non-negative, got {self.id}")
+        if self.tier < 1:
+            raise PackageModelError(f"net tier must be >= 1, got {self.tier}")
+        if not self.name:
+            raise PackageModelError("net name must be non-empty")
+
+    def with_tier(self, tier: int) -> "Net":
+        """Copy of this net placed on a different die tier."""
+        return replace(self, tier=tier)
+
+    def tier_bitmask(self, psi: int) -> int:
+        """The unique tier parameter ``UP_d`` of the paper: one bit per tier.
+
+        For ``psi = 3`` tiers, tier 1 -> ``0b001``, tier 2 -> ``0b010``,
+        tier 3 -> ``0b100``.
+        """
+        if not (1 <= self.tier <= psi):
+            raise PackageModelError(
+                f"net {self.name} on tier {self.tier} outside 1..{psi}"
+            )
+        return 1 << (self.tier - 1)
+
+
+@dataclass
+class NetList:
+    """An ordered collection of nets with unique ids and names."""
+
+    nets: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ids = [net.id for net in self.nets]
+        if len(set(ids)) != len(ids):
+            raise PackageModelError("duplicate net ids in netlist")
+        names = [net.name for net in self.nets]
+        if len(set(names)) != len(names):
+            raise PackageModelError("duplicate net names in netlist")
+        self._by_id = {net.id: net for net in self.nets}
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+    def __iter__(self):
+        return iter(self.nets)
+
+    def __contains__(self, net_id: int) -> bool:
+        return net_id in self._by_id
+
+    def by_id(self, net_id: int) -> Net:
+        """Look up a net by id, raising :class:`PackageModelError` if absent."""
+        try:
+            return self._by_id[net_id]
+        except KeyError:
+            raise PackageModelError(f"unknown net id {net_id}") from None
+
+    def add(self, net: Net) -> None:
+        """Append a net, enforcing id/name uniqueness."""
+        if net.id in self._by_id:
+            raise PackageModelError(f"duplicate net id {net.id}")
+        if any(existing.name == net.name for existing in self.nets):
+            raise PackageModelError(f"duplicate net name {net.name}")
+        self.nets.append(net)
+        self._by_id[net.id] = net
+
+    def supply_ids(self) -> list:
+        """Ids of all power/ground nets, in netlist order."""
+        return [net.id for net in self.nets if net.net_type.is_supply]
+
+    def ids_of_type(self, net_type: NetType) -> list:
+        """Ids of all nets of the given type, in netlist order."""
+        return [net.id for net in self.nets if net.net_type is net_type]

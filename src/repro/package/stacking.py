@@ -1,0 +1,190 @@
+"""Stacking-IC (SiP / 3-D IC) configuration and bonding-wire geometry.
+
+The journal version of the paper extends the DATE 2009 method to stacking
+ICs: several dies are stacked in a pyramid and each die tier exposes its own
+pad ring.  Every finger still carries exactly one bonding wire, but the wire
+now climbs to the tier holding its pad.  Planning fingers so that consecutive
+fingers serve *different* tiers keeps the wires short and fan-like
+(paper Fig. 4(B)); the ``omega`` metric of :mod:`repro.exchange.bonding`
+scores exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..errors import PackageModelError
+
+
+@dataclass(frozen=True)
+class StackingConfig:
+    """Die-stack description.
+
+    Attributes
+    ----------
+    tier_count:
+        The paper's ``psi``.  ``1`` means an ordinary 2-D IC.
+    tier_heights:
+        Height of each tier's pad ring above the substrate, in micrometres,
+        tier 1 first (the lowest / largest die).  Must be increasing.
+    tier_setbacks:
+        Horizontal setback of each tier's die edge from the finger row, in
+        micrometres.  Upper dies are smaller, so their pads sit further from
+        the fingers; must be increasing.
+    """
+
+    tier_count: int = 1
+    tier_heights: Sequence[float] = field(default_factory=tuple)
+    tier_setbacks: Sequence[float] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.tier_count < 1:
+            raise PackageModelError(f"tier count must be >= 1, got {self.tier_count}")
+        heights = tuple(self.tier_heights) or tuple(
+            5.0 * d for d in range(1, self.tier_count + 1)
+        )
+        setbacks = tuple(self.tier_setbacks) or tuple(
+            10.0 * d for d in range(1, self.tier_count + 1)
+        )
+        if len(heights) != self.tier_count or len(setbacks) != self.tier_count:
+            raise PackageModelError(
+                "tier_heights/tier_setbacks must have one entry per tier"
+            )
+        if any(h <= 0 for h in heights) or any(s <= 0 for s in setbacks):
+            raise PackageModelError("tier heights and setbacks must be positive")
+        if list(heights) != sorted(heights) or list(setbacks) != sorted(setbacks):
+            raise PackageModelError(
+                "upper tiers must be higher and set back further than lower tiers"
+            )
+        object.__setattr__(self, "tier_heights", heights)
+        object.__setattr__(self, "tier_setbacks", setbacks)
+
+    @property
+    def is_stacked(self) -> bool:
+        """True when this is a stacking IC (``psi >= 2``)."""
+        return self.tier_count >= 2
+
+    def tier_bitmask(self, tier: int) -> int:
+        """Unique parameter ``UP_d`` of the paper: one bit per tier."""
+        if not (1 <= tier <= self.tier_count):
+            raise PackageModelError(
+                f"tier {tier} outside 1..{self.tier_count}"
+            )
+        return 1 << (tier - 1)
+
+    def full_mask(self) -> int:
+        """Bitmask with every tier bit set (a "perfect" finger group)."""
+        return (1 << self.tier_count) - 1
+
+    def bonding_wire_length(self, tier: int, lateral_offset: float = 0.0) -> float:
+        """Physical length of a bonding wire from a finger to a tier-d pad.
+
+        The wire spans the tier's setback horizontally, its height
+        vertically, plus any lateral offset between the finger and the pad
+        along the die edge.  Modeled as the straight-line distance (real
+        wire-bond loops add a roughly constant factor which cancels in the
+        relative comparisons the paper reports).
+        """
+        if not (1 <= tier <= self.tier_count):
+            raise PackageModelError(
+                f"tier {tier} outside 1..{self.tier_count}"
+            )
+        setback = self.tier_setbacks[tier - 1]
+        height = self.tier_heights[tier - 1]
+        return math.sqrt(setback**2 + height**2 + float(lateral_offset) ** 2)
+
+    def total_bonding_length(
+        self, tiers_in_finger_order: Sequence[int], finger_pitch: float = 1.0
+    ) -> float:
+        """Total bonding-wire length for a finger order.
+
+        Pads of each tier are assumed evenly spread along the tier's die
+        edge in the same relative order as their fingers (the paper assumes
+        finger order == pad order).  The lateral offset of a wire is the
+        distance between its finger position and its pad position.
+        """
+        total = 0.0
+        per_tier: dict = {}
+        for slot, tier in enumerate(tiers_in_finger_order, start=1):
+            per_tier.setdefault(tier, []).append(slot)
+        span = (len(tiers_in_finger_order) - 1) * finger_pitch
+        for tier, slots in per_tier.items():
+            count = len(slots)
+            for index, slot in enumerate(slots):
+                finger_x = (slot - 1) * finger_pitch
+                if count == 1:
+                    pad_x = span / 2.0
+                else:
+                    pad_x = span * index / (count - 1)
+                total += self.bonding_wire_length(tier, finger_x - pad_x)
+        return total
+
+
+def bonding_wire_crossings(
+    tiers_in_finger_order: Sequence[int], pads_per_edge: bool = True
+) -> int:
+    """Count crossing bonding-wire pairs for a finger order.
+
+    Each tier's pads sit evenly spaced along that tier's die edge, in the
+    same relative order as their fingers (the paper's assumption).  Two
+    wires cross when their finger order and their pad x-order disagree —
+    an inversion count, computed in O(n log n) with a Fenwick tree.
+    Interleaving tiers (low omega) also minimizes crossings; the two
+    metrics agree, which ``tests/test_package_model.py`` checks.
+    """
+    del pads_per_edge  # single layout currently; parameter reserved
+    n = len(tiers_in_finger_order)
+    if n < 2:
+        return 0
+    # pad x position (as a rank) for every wire
+    per_tier: dict = {}
+    for slot, tier in enumerate(tiers_in_finger_order):
+        per_tier.setdefault(tier, []).append(slot)
+    span = float(n - 1)
+    pad_x = [0.0] * n
+    for tier, slots in per_tier.items():
+        count = len(slots)
+        for index, slot in enumerate(slots):
+            if count == 1:
+                pad_x[slot] = span / 2.0
+            else:
+                pad_x[slot] = span * index / (count - 1)
+    # count inversions between finger order (index) and pad_x order
+    order = sorted(range(n), key=lambda slot: (pad_x[slot], slot))
+    ranks = [0] * n
+    for rank, slot in enumerate(order):
+        ranks[slot] = rank + 1  # 1-based for the Fenwick tree
+    tree = [0] * (n + 1)
+
+    def update(position: int) -> None:
+        while position <= n:
+            tree[position] += 1
+            position += position & -position
+
+    def query(position: int) -> int:
+        total = 0
+        while position > 0:
+            total += tree[position]
+            position -= position & -position
+        return total
+
+    inversions = 0
+    for slot in range(n - 1, -1, -1):  # walk fingers right to left
+        inversions += query(ranks[slot] - 1)
+        update(ranks[slot])
+    return inversions
+
+
+def assign_tiers_round_robin(net_count: int, tier_count: int) -> List[int]:
+    """Tier for each net (by index) with equal pads per tier, round-robin.
+
+    This mirrors the paper's experimental setup where "the number of pads for
+    each tier" is an input: we spread them as evenly as possible.
+    """
+    if net_count < 1:
+        raise PackageModelError("net_count must be >= 1")
+    if tier_count < 1:
+        raise PackageModelError("tier_count must be >= 1")
+    return [(index % tier_count) + 1 for index in range(net_count)]

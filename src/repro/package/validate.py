@@ -1,0 +1,168 @@
+"""Design-rule checking for package designs.
+
+The paper's experimental setup fixes physical dimensions (Table 1: via
+diameter 0.1 um, ball diameter 0.2 um, bump/finger pitches); "if the density
+is higher, it indicates that too many wires pass through a narrow range,
+therefore a violation of design rules probably occurred" (section 2.3).
+This module makes those rules explicit: geometric sanity of the package
+stack plus the wire-capacity rule that links the congestion model to the
+physical gap between via candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .design import PackageDesign
+
+
+@dataclass(frozen=True)
+class DRCViolation:
+    """One design-rule violation."""
+
+    rule: str
+    severity: str  # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.rule}: {self.message}"
+
+
+@dataclass
+class DRCReport:
+    """Outcome of a design-rule check."""
+
+    violations: List[DRCViolation] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[DRCViolation]:
+        return [v for v in self.violations if v.severity == "error"]
+
+    @property
+    def warnings(self) -> List[DRCViolation]:
+        return [v for v in self.violations if v.severity == "warning"]
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no *errors* were found (warnings allowed)."""
+        return not self.errors
+
+    def render(self) -> str:
+        """Human-readable report."""
+        if not self.violations:
+            return "DRC clean: no violations"
+        lines = [f"DRC: {len(self.errors)} error(s), {len(self.warnings)} warning(s)"]
+        lines.extend(str(v) for v in self.violations)
+        return "\n".join(lines)
+
+
+#: Default minimal spacing between two wires, as a fraction of via diameter.
+DEFAULT_WIRE_PITCH_FACTOR = 1.5
+
+
+def check_design(
+    design: PackageDesign,
+    max_density: Optional[Dict] = None,
+    wire_pitch: Optional[float] = None,
+) -> DRCReport:
+    """Run all design rules against *design*.
+
+    Parameters
+    ----------
+    max_density:
+        Optional ``{side: int}`` of per-quadrant maximum densities (from
+        :func:`repro.routing.max_density`); when given, the wire-capacity
+        rule checks that the congested gaps can physically hold that many
+        wires.
+    wire_pitch:
+        Minimal wire centre-to-centre pitch in micrometres.  Defaults to
+        ``DEFAULT_WIRE_PITCH_FACTOR * via_diameter``.
+    """
+    report = DRCReport()
+    technology = design.technology
+    if wire_pitch is None:
+        wire_pitch = DEFAULT_WIRE_PITCH_FACTOR * technology.via_diameter
+
+    # Rule 1: vias must fit between bump balls.
+    clearance = technology.bump_ball_space - technology.via_diameter
+    if clearance < 0:
+        report.violations.append(
+            DRCViolation(
+                rule="via-fits-gap",
+                severity="error",
+                message=(
+                    f"via diameter {technology.via_diameter} um exceeds the "
+                    f"bump-ball space {technology.bump_ball_space} um"
+                ),
+            )
+        )
+
+    # Rule 2: bump balls must not overlap.
+    if technology.bump_ball_space <= 0:
+        report.violations.append(
+            DRCViolation(
+                rule="ball-overlap",
+                severity="error",
+                message="bump balls touch: non-positive ball space",
+            )
+        )
+
+    # Rule 3: finger row must not be wider than the outermost bump row
+    # plus a pitch of margin — otherwise bonding wires fan excessively.
+    for side, quadrant in design:
+        widest = max(
+            quadrant.bumps.row_size(row) for row in range(1, quadrant.row_count + 1)
+        )
+        bump_extent = widest * technology.bump_pitch
+        finger_extent = quadrant.fingers.extent
+        if finger_extent > 2.0 * bump_extent:
+            report.violations.append(
+                DRCViolation(
+                    rule="finger-overhang",
+                    severity="warning",
+                    message=(
+                        f"{side.value}: finger row ({finger_extent:.2f} um) is "
+                        f"more than twice the bump span ({bump_extent:.2f} um); "
+                        "outer bonding wires will be long"
+                    ),
+                )
+            )
+
+    # Rule 4: bump rows must not grow towards the die (monotonic trapezoid).
+    for side, quadrant in design:
+        sizes = [
+            quadrant.bumps.row_size(row) for row in range(1, quadrant.row_count + 1)
+        ]
+        if any(inner > outer for outer, inner in zip(sizes, sizes[1:])):
+            report.violations.append(
+                DRCViolation(
+                    rule="trapezoid-shape",
+                    severity="warning",
+                    message=(
+                        f"{side.value}: bump rows {sizes} widen towards the die; "
+                        "the diagonal cut-lines of a BGA quadrant never do"
+                    ),
+                )
+            )
+
+    # Rule 5: wire capacity — the congested gap must hold its wires.
+    if max_density:
+        gap_width = technology.bump_pitch - technology.via_diameter
+        capacity = int(gap_width // wire_pitch)
+        for side, density in max_density.items():
+            if density > capacity:
+                report.violations.append(
+                    DRCViolation(
+                        rule="wire-capacity",
+                        severity="error",
+                        message=(
+                            f"{getattr(side, 'value', side)}: max density "
+                            f"{density} exceeds the {capacity} wires that fit "
+                            f"in a {gap_width:.2f} um gap at {wire_pitch:.2f} um "
+                            "pitch"
+                        ),
+                    )
+                )
+
+    return report

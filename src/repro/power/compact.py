@@ -1,0 +1,90 @@
+"""Compact (fast) IR-drop estimation used inside the exchange loop.
+
+"If we directly use Eq. (1) to calculate IR-drop, the analysis time for the
+chip is very long ... In this paper, we compute the variation of dx and dy to
+be the IR-drop improvement when the location of the power pad is exchanged"
+(paper section 3.2).
+
+Eq. (1) says IR-drop at a point grows with the resistive distance (dx, dy)
+to the supplying pads; minimizing the worst pad-to-point distance means
+spreading the power pads evenly along the boundary ring.  The proxy used
+here is the sum of squared gaps between circularly consecutive power pads on
+the perimeter:
+
+    delta_IR  =  sum_i gap_i^2        (gaps as perimeter fractions)
+
+It is minimized exactly when all gaps are equal (Cauchy-Schwarz), it
+decreases whenever a swap moves a power pad towards the middle of its gap,
+and it is O(k) to evaluate for k power pads — cheap enough for every SA
+move.  ``tests/test_power_compact.py`` verifies its rank correlation with
+the full finite-difference solve.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import PowerModelError
+
+
+def pad_gaps(fractions: Sequence[float]) -> List[float]:
+    """Circular gaps between consecutive pad positions on the ring.
+
+    ``fractions`` are perimeter positions in ``[0, 1)``; the result sums
+    to 1.
+    """
+    if not fractions:
+        raise PowerModelError("at least one power pad is required")
+    ordered = sorted(fraction % 1.0 for fraction in fractions)
+    gaps = [b - a for a, b in zip(ordered, ordered[1:])]
+    gaps.append(1.0 - ordered[-1] + ordered[0])
+    return gaps
+
+
+def compact_ir_cost(fractions: Sequence[float]) -> float:
+    """The delta_IR proxy: sum of squared circular pad gaps.
+
+    Lower is better; the minimum ``1/k`` is reached by ``k`` equidistant
+    pads.
+    """
+    return sum(gap * gap for gap in pad_gaps(fractions))
+
+
+def worst_gap(fractions: Sequence[float]) -> float:
+    """Largest circular gap — the region furthest from any supply."""
+    return max(pad_gaps(fractions))
+
+
+def weighted_compact_cost(fractions: Sequence[float], demand) -> float:
+    """Demand-weighted delta_IR proxy for chips with non-uniform power.
+
+    ``demand`` is a callable mapping a perimeter fraction in ``[0, 1)`` to
+    the relative current demand of the core region behind that stretch of
+    boundary.  Each circular gap is weighted by the demand at its midpoint,
+    so supply-starved hot regions pull pads towards themselves.  With a
+    constant demand this reduces to :func:`compact_ir_cost` (up to the
+    constant factor).
+    """
+    ordered = sorted(fraction % 1.0 for fraction in fractions)
+    if not ordered:
+        raise PowerModelError("at least one power pad is required")
+    total = 0.0
+    for a, b in zip(ordered, ordered[1:]):
+        gap = b - a
+        total += gap * gap * demand((a + b) / 2.0)
+    wrap_gap = 1.0 - ordered[-1] + ordered[0]
+    wrap_mid = (ordered[-1] + wrap_gap / 2.0) % 1.0
+    total += wrap_gap * wrap_gap * demand(wrap_mid)
+    return total
+
+
+def normalized_compact_cost(fractions: Sequence[float]) -> float:
+    """Compact cost scaled to ``[1, k]``: 1.0 means perfectly equidistant.
+
+    Dividing by the ideal value ``1/k`` makes values comparable across
+    designs with different power-pad counts.
+    """
+    k = len(list(fractions))
+    if k == 0:
+        raise PowerModelError("at least one power pad is required")
+    return compact_ir_cost(fractions) * k

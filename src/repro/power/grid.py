@@ -1,0 +1,78 @@
+"""Power-grid model of the chip core (paper Fig. 7, ref [17]).
+
+The compact physical IR-drop model of Shakeri-Meindl assumes the core's
+power distribution network is a uniform G x G grid with sheet resistances
+``Rsx`` / ``Rsy`` and a uniform current density ``J0`` drawn by every grid
+cell; the power pads sit on the chip boundary and pin their nodes to
+``Vdd``.  Eq. (1) of the paper is the finite-difference Kirchhoff balance of
+one interior node of this grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import PowerModelError
+
+
+@dataclass(frozen=True)
+class PowerGridConfig:
+    """Physical parameters of the core power grid.
+
+    Attributes
+    ----------
+    size:
+        Nodes per side of the square grid (G); the grid has ``G*G`` nodes.
+    vdd:
+        Supply voltage in volts.
+    r_sx / r_sy:
+        Per-edge resistance in ohms along x and y (``Rsx * dx/dy`` of Eq. 1;
+        the grid is uniform so ``dx = dy``).
+    j0:
+        Current drawn by each grid cell in amperes (``J0 * dx * dy``).
+    """
+
+    size: int = 32
+    vdd: float = 1.0
+    r_sx: float = 1.0
+    r_sy: float = 1.0
+    j0: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.size < 2:
+            raise PowerModelError(f"power grid needs size >= 2, got {self.size}")
+        if self.vdd <= 0:
+            raise PowerModelError(f"vdd must be positive, got {self.vdd}")
+        if self.r_sx <= 0 or self.r_sy <= 0:
+            raise PowerModelError("sheet resistances must be positive")
+        if self.j0 < 0:
+            raise PowerModelError(f"current density must be >= 0, got {self.j0}")
+
+    @property
+    def node_count(self) -> int:
+        return self.size * self.size
+
+    def boundary_ring(self) -> List[Tuple[int, int]]:
+        """Boundary nodes in ring order starting at the bottom-left corner.
+
+        The walk is bottom edge left-to-right, right edge bottom-to-top, top
+        edge right-to-left, left edge top-to-bottom — matching the package
+        ring order of :meth:`repro.package.PackageDesign.ring_position`
+        (bottom, right, top, left).
+        """
+        g = self.size
+        ring: List[Tuple[int, int]] = []
+        ring.extend((x, 0) for x in range(0, g - 1))
+        ring.extend((g - 1, y) for y in range(0, g - 1))
+        ring.extend((x, g - 1) for x in range(g - 1, 0, -1))
+        ring.extend((0, y) for y in range(g - 1, 0, -1))
+        return ring
+
+    def ring_node(self, fraction: float) -> Tuple[int, int]:
+        """Boundary node at perimeter *fraction* in ``[0, 1)``."""
+        if not (0.0 <= fraction < 1.0 + 1e-12):
+            raise PowerModelError(f"ring fraction {fraction} outside [0, 1)")
+        ring = self.boundary_ring()
+        index = int(fraction % 1.0 * len(ring))
+        return ring[min(index, len(ring) - 1)]

@@ -1,0 +1,83 @@
+"""Named parameter presets for the exchange step.
+
+Three profiles cover the usual situations; all were validated against the
+Table-3 benchmarks:
+
+``fast``
+    Unit tests and interactive exploration: a short schedule that still
+    finds most of the IR gain on small designs.
+``paper``
+    The committed defaults used by every benchmark — the knee of the
+    quality/runtime trade-off (see ``benchmarks/bench_ablation.py``).
+``thorough``
+    A longer, slightly hotter schedule with more polish for final runs on
+    large designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .exchange import CostWeights, SAParams
+
+
+@dataclass(frozen=True)
+class ExchangePreset:
+    """A named (weights, schedule, polish) bundle."""
+
+    name: str
+    weights: CostWeights
+    params: SAParams
+    polish_passes: int
+
+    def make_exchanger(self, design, **overrides):
+        """Instantiate a :class:`FingerPadExchanger` from this preset."""
+        from .exchange import FingerPadExchanger
+
+        kwargs = {
+            "weights": self.weights,
+            "params": self.params,
+            "polish_passes": self.polish_passes,
+        }
+        kwargs.update(overrides)
+        return FingerPadExchanger(design, **kwargs)
+
+
+FAST = ExchangePreset(
+    name="fast",
+    weights=CostWeights(ir=1.0, density=0.08, bonding=0.5),
+    params=SAParams(
+        initial_temp=0.03, final_temp=1e-3, cooling=0.9, moves_per_temp=60
+    ),
+    polish_passes=5,
+)
+
+PAPER = ExchangePreset(
+    name="paper",
+    weights=CostWeights(ir=1.0, density=0.08, bonding=0.5),
+    params=SAParams(
+        initial_temp=0.03, final_temp=1e-4, cooling=0.95, moves_per_temp=150
+    ),
+    polish_passes=20,
+)
+
+THOROUGH = ExchangePreset(
+    name="thorough",
+    weights=CostWeights(ir=1.0, density=0.08, bonding=0.5),
+    params=SAParams(
+        initial_temp=0.05, final_temp=5e-5, cooling=0.97, moves_per_temp=300
+    ),
+    polish_passes=50,
+)
+
+PRESETS = {preset.name: preset for preset in (FAST, PAPER, THOROUGH)}
+
+
+def get_preset(name: str) -> ExchangePreset:
+    """Look up a preset by name, with a helpful error."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

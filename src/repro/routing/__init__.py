@@ -1,0 +1,63 @@
+"""Monotonic BGA routing, congestion estimation and wirelength metrics."""
+
+from .density import (
+    DensityMap,
+    RunDensity,
+    density_map,
+    max_density,
+    max_density_of_design,
+    run_partition,
+)
+from .monotonic import MonotonicRouter, RoutingResult, route_design
+from .paths import RoutedNet
+from .report import (
+    NetReportRow,
+    render_routing_report,
+    routing_report,
+    write_routing_csv,
+)
+from .spacing import SpacingReport, measure_spacing
+from .via_opt import (
+    GeneralizedDensity,
+    ViaAssignment,
+    ViaOptimizationResult,
+    ViaOptimizer,
+)
+from .via_planner import Via, plan_vias, verify_via_order, via_capacity_check
+from .wirelength import (
+    net_flyline_length,
+    total_flyline_length,
+    total_flyline_length_of_design,
+    wirelength_by_row,
+)
+
+__all__ = [
+    "DensityMap",
+    "MonotonicRouter",
+    "RoutedNet",
+    "RoutingResult",
+    "RunDensity",
+    "NetReportRow",
+    "SpacingReport",
+    "render_routing_report",
+    "routing_report",
+    "write_routing_csv",
+    "measure_spacing",
+    "Via",
+    "ViaAssignment",
+    "ViaOptimizationResult",
+    "ViaOptimizer",
+    "GeneralizedDensity",
+    "density_map",
+    "max_density",
+    "max_density_of_design",
+    "net_flyline_length",
+    "plan_vias",
+    "route_design",
+    "run_partition",
+    "total_flyline_length",
+    "total_flyline_length_of_design",
+    "verify_via_order",
+    "via_capacity_check",
+    "wirelength_by_row",
+]

@@ -1,0 +1,68 @@
+"""Routed-net geometry containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..geometry import Point, Segment
+
+
+@dataclass
+class RoutedNet:
+    """The realized two-layer route of one net.
+
+    ``layer1_points`` runs from the finger down to the via (inclusive);
+    the layer-2 portion is the single hop from the via to the bump ball.
+    """
+
+    net_id: int
+    finger: Point
+    via: Point
+    ball: Point
+    layer1_points: List[Point] = field(default_factory=list)
+
+    @property
+    def layer1_segments(self) -> List[Segment]:
+        """Wire pieces on layer 1 (finger to via)."""
+        return [
+            Segment(a, b)
+            for a, b in zip(self.layer1_points, self.layer1_points[1:])
+        ]
+
+    @property
+    def layer2_segment(self) -> Segment:
+        """The single layer-2 hop from the via to the ball."""
+        return Segment(self.via, self.ball)
+
+    @property
+    def routed_length(self) -> float:
+        """Total realized wire length over both layers."""
+        return (
+            sum(segment.length for segment in self.layer1_segments)
+            + self.layer2_segment.length
+        )
+
+    @property
+    def flyline_length(self) -> float:
+        """The paper's Table-2 metric: direct flylines finger->via->ball."""
+        return self.finger.euclidean(self.via) + self.via.euclidean(self.ball)
+
+    def is_monotonic(self) -> bool:
+        """True when the layer-1 path never travels upwards.
+
+        This is the monotonic property: every horizontal grid line is crossed
+        at most once, so no detours occur.
+        """
+        ys = [point.y for point in self.layer1_points]
+        return all(a >= b for a, b in zip(ys, ys[1:]))
+
+    def crossing_x_at(self, y: float) -> float:
+        """X coordinate where the layer-1 path crosses height *y*."""
+        from ..errors import RoutingError
+
+        for segment in self.layer1_segments:
+            x = segment.x_at_y(y)
+            if x is not None:
+                return x
+        raise RoutingError(f"net {self.net_id} does not cross y={y}")

@@ -1,0 +1,123 @@
+"""Per-net routing reports (tabular and CSV).
+
+After routing, users want the classic router output: one row per net with
+its endpoints, via site, lengths and congestion context.  This module
+renders that table and exports it as CSV for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Union
+
+from ..assign import Assignment
+from .monotonic import RoutingResult
+
+
+@dataclass(frozen=True)
+class NetReportRow:
+    """One net's routing facts."""
+
+    net_id: int
+    net_name: str
+    net_type: str
+    finger_slot: int
+    ball_col: int
+    ball_row: int
+    flyline_length: float
+    routed_length: float
+
+    @property
+    def detour_ratio(self) -> float:
+        """Routed length over the flyline lower bound (1.0 = straight)."""
+        if self.flyline_length <= 0:
+            return 1.0
+        return self.routed_length / self.flyline_length
+
+
+def routing_report(assignment: Assignment, result: RoutingResult) -> List[NetReportRow]:
+    """Per-net rows, ordered by finger slot (left to right)."""
+    quadrant = assignment.quadrant
+    rows = []
+    for net_id in assignment.order:
+        net = quadrant.net(net_id)
+        ball = quadrant.bumps.ball_of(net_id)
+        routed = result.nets[net_id]
+        rows.append(
+            NetReportRow(
+                net_id=net_id,
+                net_name=net.name,
+                net_type=net.net_type.value,
+                finger_slot=assignment.slot_of(net_id),
+                ball_col=ball.col,
+                ball_row=ball.row,
+                flyline_length=routed.flyline_length,
+                routed_length=routed.routed_length,
+            )
+        )
+    return rows
+
+
+def render_routing_report(
+    assignment: Assignment, result: RoutingResult, top: int = 0
+) -> str:
+    """Human-readable routing table; ``top > 0`` keeps the longest nets."""
+    rows = routing_report(assignment, result)
+    if top:
+        rows = sorted(rows, key=lambda row: row.routed_length, reverse=True)[:top]
+    lines = [
+        "net        type     finger   ball(col,row)   flyline   routed   detour"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.net_name:<10} {row.net_type:<8} {row.finger_slot:>6}   "
+            f"({row.ball_col:>2},{row.ball_row:>2})        "
+            f"{row.flyline_length:>7.2f} {row.routed_length:>8.2f} "
+            f"{row.detour_ratio:>8.3f}"
+        )
+    lines.append(
+        f"total: flyline {result.total_flyline_length:.2f} um, "
+        f"routed {result.total_routed_length:.2f} um, "
+        f"max density {result.max_density}"
+    )
+    return "\n".join(lines)
+
+
+def write_routing_csv(
+    assignment: Assignment,
+    result: RoutingResult,
+    path: Union[str, Path],
+) -> None:
+    """Export the per-net report as CSV."""
+    rows = routing_report(assignment, result)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "net_id",
+                "net_name",
+                "net_type",
+                "finger_slot",
+                "ball_col",
+                "ball_row",
+                "flyline_length",
+                "routed_length",
+                "detour_ratio",
+            ]
+        )
+        for row in rows:
+            writer.writerow(
+                [
+                    row.net_id,
+                    row.net_name,
+                    row.net_type,
+                    row.finger_slot,
+                    row.ball_col,
+                    row.ball_row,
+                    f"{row.flyline_length:.6f}",
+                    f"{row.routed_length:.6f}",
+                    f"{row.detour_ratio:.6f}",
+                ]
+            )

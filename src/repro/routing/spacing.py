@@ -1,0 +1,69 @@
+"""Physical wire-spacing analysis of routed quadrants.
+
+The congestion model counts wires per via-candidate gap; this module closes
+the loop to physics: it measures the realized centre-to-centre spacing
+between adjacent wires on every horizontal line of a routed quadrant, so
+the wire-capacity design rule of :mod:`repro.package.validate` can be
+checked against actual geometry instead of counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .monotonic import RoutingResult
+
+
+@dataclass(frozen=True)
+class SpacingReport:
+    """Minimum adjacent-wire spacing per horizontal line."""
+
+    per_line: Dict[int, float]
+    min_spacing: Optional[float]
+    tightest_line: Optional[int]
+
+    def violations(self, min_pitch: float) -> List[Tuple[int, float]]:
+        """Lines whose tightest spacing is below *min_pitch*."""
+        return [
+            (line, spacing)
+            for line, spacing in sorted(self.per_line.items())
+            if spacing < min_pitch
+        ]
+
+    def is_clean(self, min_pitch: float) -> bool:
+        """True when every line respects *min_pitch*."""
+        return not self.violations(min_pitch)
+
+
+def measure_spacing(result: RoutingResult, quadrant) -> SpacingReport:
+    """Measure realized wire spacing on every bump-row line of a quadrant."""
+    per_line: Dict[int, float] = {}
+    for row in range(2, quadrant.row_count + 1):
+        line_y = quadrant.bumps.row_y(row)
+        xs: List[float] = []
+        for routed in result.nets.values():
+            # crossing waypoints carry the exact line y; vias sit below it
+            for point in routed.layer1_points[1:-1]:
+                if point.y == line_y:
+                    xs.append(point.x)
+                    break
+            else:
+                if routed.via.y == line_y:
+                    xs.append(routed.via.x)
+        # terminating vias on this line also occupy the line
+        for routed in result.nets.values():
+            ball_row = quadrant.ball_row(routed.net_id)
+            if ball_row == row:
+                xs.append(routed.via.x)
+        xs.sort()
+        if len(xs) >= 2:
+            per_line[row] = min(b - a for a, b in zip(xs, xs[1:]))
+    if per_line:
+        tightest_line = min(per_line, key=per_line.get)
+        return SpacingReport(
+            per_line=per_line,
+            min_spacing=per_line[tightest_line],
+            tightest_line=tightest_line,
+        )
+    return SpacingReport(per_line={}, min_spacing=None, tightest_line=None)

@@ -1,0 +1,51 @@
+"""Physical-unit helpers.
+
+The paper expresses all package dimensions in micrometres (via diameter
+0.1 um, bump ball diameter 0.2 um, bump-ball pitches of 1.2-2 um in Table 1)
+and IR-drop in millivolts.  Internally the library works in plain floats
+understood to be micrometres and volts; these helpers exist so call sites can
+make the unit explicit and so reports can format values consistently.
+"""
+
+from __future__ import annotations
+
+#: Micrometres per millimetre, for occasional conversions in reports.
+UM_PER_MM = 1000.0
+
+#: Volts per millivolt.
+V_PER_MV = 1e-3
+
+
+def um(value: float) -> float:
+    """Return *value* interpreted as micrometres (identity, documentation)."""
+    return float(value)
+
+
+def mm(value: float) -> float:
+    """Convert millimetres to the library's native micrometres."""
+    return float(value) * UM_PER_MM
+
+
+def mv(value: float) -> float:
+    """Convert millivolts to volts."""
+    return float(value) * V_PER_MV
+
+
+def to_mv(volts: float) -> float:
+    """Convert volts to millivolts."""
+    return float(volts) / V_PER_MV
+
+
+def fmt_um(value: float, digits: int = 2) -> str:
+    """Format a micrometre quantity for reports, e.g. ``'42844.00 um'``."""
+    return f"{value:.{digits}f} um"
+
+
+def fmt_mv(volts: float, digits: int = 1) -> str:
+    """Format a voltage (given in volts) as millivolts, e.g. ``'117.4 mV'``."""
+    return f"{to_mv(volts):.{digits}f} mV"
+
+
+def fmt_pct(ratio: float, digits: int = 2) -> str:
+    """Format a ratio as a percentage string, e.g. ``0.1061 -> '10.61%'``."""
+    return f"{ratio * 100.0:.{digits}f}%"

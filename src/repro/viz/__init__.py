@@ -1,0 +1,19 @@
+"""Terminal-friendly visualization helpers."""
+
+from .ascii_art import (
+    render_assignment,
+    render_comparison,
+    render_density_profile,
+)
+from .densitymap import render_current_map, render_irdrop_map
+from .package_svg import package_to_svg, save_package_svg
+
+__all__ = [
+    "render_assignment",
+    "render_comparison",
+    "render_current_map",
+    "render_density_profile",
+    "render_irdrop_map",
+    "package_to_svg",
+    "save_package_svg",
+]

@@ -1,0 +1,55 @@
+"""ASCII visualization for terminals and doc examples.
+
+Draws a quadrant the way the paper's small figures do: the finger order on
+top, the bump rows below with their net ids, and a congestion bar chart per
+horizontal line — enough to eyeball an assignment without an SVG viewer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..assign import Assignment
+from ..routing import density_map
+
+
+def render_assignment(assignment: Assignment, cell_width: int = 4) -> str:
+    """The finger order and bump rows of one quadrant as ASCII art."""
+    quadrant = assignment.quadrant
+    lines: List[str] = []
+    fingers = "".join(
+        str(net_id).center(cell_width) for net_id in assignment.order
+    )
+    lines.append("fingers: " + fingers)
+    lines.append("         " + "-" * len(fingers))
+    for row in range(quadrant.row_count, 0, -1):
+        cells = "".join(
+            str(net_id).center(cell_width) for net_id in quadrant.row_nets(row)
+        )
+        lines.append(f"row {row:>2}:  {cells.center(len(fingers))}")
+    return "\n".join(lines)
+
+
+def render_density_profile(assignment: Assignment, width: int = 40) -> str:
+    """Bar chart of the worst density per horizontal line."""
+    dmap = density_map(assignment)
+    per_line = dmap.line_densities()
+    if not per_line:
+        return "(single-row quadrant: no crossing congestion)"
+    peak = max(per_line.values()) or 1
+    lines = [f"max density: {dmap.max_density}"]
+    for row in sorted(per_line, reverse=True):
+        value = per_line[row]
+        bar = "#" * max(1, round(value / peak * width)) if value else ""
+        lines.append(f"line y={row:>2} | {bar} {value}")
+    return "\n".join(lines)
+
+
+def render_comparison(assignments: dict, labels: List[str] = None) -> str:
+    """Side-by-side density profiles for several assignments of one quadrant."""
+    blocks = []
+    for name, assignment in assignments.items():
+        blocks.append(f"== {name} ==")
+        blocks.append(render_density_profile(assignment))
+        blocks.append("")
+    return "\n".join(blocks).rstrip()

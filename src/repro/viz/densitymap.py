@@ -1,0 +1,56 @@
+"""Textual heat maps: routing congestion and core IR-drop."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..power.fdsolver import IRDropResult
+from ..units import to_mv
+
+_SHADES = " .:-=+*#%@"
+
+
+def _shade(value: float, lo: float, hi: float) -> str:
+    if hi <= lo:
+        return _SHADES[0]
+    index = int((value - lo) / (hi - lo) * (len(_SHADES) - 1))
+    return _SHADES[min(max(index, 0), len(_SHADES) - 1)]
+
+
+def render_irdrop_map(result: IRDropResult, max_cols: int = 64) -> str:
+    """ASCII heat map of an IR-drop solution (dark = worse drop).
+
+    This is the textual counterpart of the paper's Fig. 6 color maps.
+    """
+    drop = result.drop_map
+    g = drop.shape[0]
+    stride = max(1, g // max_cols)
+    sampled = drop[::stride, ::stride]
+    lo, hi = float(sampled.min()), float(sampled.max())
+    lines: List[str] = [
+        f"max IR-drop {to_mv(result.max_drop):.1f} mV, "
+        f"mean {to_mv(result.mean_drop):.1f} mV "
+        f"(worst node {tuple(int(v) for v in result.worst_node())})"
+    ]
+    # y grows upward on the chip; print top row first.
+    for y in range(sampled.shape[1] - 1, -1, -1):
+        lines.append(
+            "".join(_shade(sampled[x, y], lo, hi) for x in range(sampled.shape[0]))
+        )
+    return "\n".join(lines)
+
+
+def render_current_map(current: np.ndarray, max_cols: int = 64) -> str:
+    """ASCII heat map of a per-node current draw (hot blocks visible)."""
+    g = current.shape[0]
+    stride = max(1, g // max_cols)
+    sampled = current[::stride, ::stride]
+    lo, hi = float(sampled.min()), float(sampled.max())
+    lines = [f"current map: {lo:.2e} .. {hi:.2e} A/node"]
+    for y in range(sampled.shape[1] - 1, -1, -1):
+        lines.append(
+            "".join(_shade(sampled[x, y], lo, hi) for x in range(sampled.shape[0]))
+        )
+    return "\n".join(lines)

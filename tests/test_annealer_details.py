@@ -1,0 +1,95 @@
+"""Fine-grained behaviour of the SA engine."""
+
+import math
+
+import pytest
+
+from repro.exchange import SAParams, SimulatedAnnealer
+
+
+def make_walker(start=0, target=0):
+    """A 1-D integer walker with |x - target| cost."""
+    state = {"x": start}
+
+    def propose(rng):
+        return rng.choice((-1, 1))
+
+    def apply(move):
+        state["x"] += move
+
+    def undo(move):
+        state["x"] -= move
+
+    def cost():
+        return float(abs(state["x"] - target))
+
+    return state, propose, apply, undo, cost
+
+
+class TestScheduleAccounting:
+    def test_cost_trace_has_one_entry_per_temperature(self):
+        params = SAParams(
+            initial_temp=1.0, final_temp=0.1, cooling=0.5, moves_per_temp=3
+        )
+        __, propose, apply, undo, cost = make_walker()
+        stats = SimulatedAnnealer(params).optimize(propose, apply, undo, cost, seed=0)
+        assert len(stats.cost_trace) == params.temperature_steps()
+        assert stats.proposed == params.total_moves()
+
+    def test_temperature_steps_math(self):
+        params = SAParams(initial_temp=1.0, final_temp=0.125, cooling=0.5)
+        # 1.0 -> 0.5 -> 0.25 -> 0.125: needs 3 cooling steps to go <= final
+        assert params.temperature_steps() == 3
+
+
+class TestAcceptanceRegimes:
+    def test_hot_anneal_accepts_nearly_everything(self):
+        params = SAParams(
+            initial_temp=1000.0, final_temp=999.0, cooling=0.999, moves_per_temp=500
+        )
+        __, propose, apply, undo, cost = make_walker()
+        stats = SimulatedAnnealer(params).optimize(propose, apply, undo, cost, seed=1)
+        assert stats.acceptance_ratio > 0.95
+        assert stats.accepted_uphill > 0
+
+    def test_cold_anneal_rejects_uphill(self):
+        params = SAParams(
+            initial_temp=1e-9, final_temp=0.9e-9, cooling=0.9, moves_per_temp=500
+        )
+        state, propose, apply, undo, cost = make_walker(start=0, target=0)
+        stats = SimulatedAnnealer(params).optimize(propose, apply, undo, cost, seed=1)
+        # at the optimum, every move is uphill and must be rejected
+        assert stats.accepted_uphill == 0
+        assert state["x"] == 0
+
+    def test_downhill_always_accepted(self):
+        params = SAParams(
+            initial_temp=1e-9, final_temp=0.9e-9, cooling=0.9, moves_per_temp=200
+        )
+        state, propose, apply, undo, cost = make_walker(start=40, target=0)
+        stats = SimulatedAnnealer(params).optimize(propose, apply, undo, cost, seed=2)
+        # greedy walk reaches the target despite zero temperature
+        assert stats.best_cost <= 5
+
+
+class TestSnapshotSemantics:
+    def test_best_snapshot_tracks_best_not_final(self):
+        """The walker passes through the optimum and wanders off hot; the
+        snapshot must keep the best state seen."""
+        params = SAParams(
+            initial_temp=50.0, final_temp=40.0, cooling=0.98, moves_per_temp=400
+        )
+        state, propose, apply, undo, cost = make_walker(start=3, target=0)
+        stats = SimulatedAnnealer(params).optimize(
+            propose, apply, undo, cost, seed=3, snapshot=lambda: state["x"]
+        )
+        assert abs(stats.best_snapshot) == int(stats.best_cost)
+        assert stats.best_cost <= stats.final_cost
+
+    def test_no_snapshot_callable(self):
+        params = SAParams(
+            initial_temp=1.0, final_temp=0.5, cooling=0.5, moves_per_temp=10
+        )
+        __, propose, apply, undo, cost = make_walker()
+        stats = SimulatedAnnealer(params).optimize(propose, apply, undo, cost, seed=0)
+        assert stats.best_snapshot is None

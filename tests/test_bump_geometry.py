@@ -1,0 +1,90 @@
+"""Geometric invariants of the bump array and finger row."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.package import BumpArray, FingerRow
+
+row_lists = st.lists(
+    st.integers(min_value=1, max_value=9), min_size=1, max_size=5
+)
+
+
+def build_array(sizes, pitch=1.0):
+    next_id = iter(range(1000))
+    rows = [[next(next_id) for __ in range(s)] for s in sizes]
+    return BumpArray(rows, pitch=pitch)
+
+
+class TestBumpGeometry:
+    @given(row_lists)
+    @settings(max_examples=40)
+    def test_rows_descend_from_fingers(self, sizes):
+        bumps = build_array(sizes)
+        ys = [bumps.row_y(row) for row in range(1, bumps.row_count + 1)]
+        # row indices increase towards the fingers: y must increase too
+        assert ys == sorted(ys)
+        assert all(y < 0 for y in ys)  # fingers sit at y = 0 above
+
+    @given(row_lists)
+    @settings(max_examples=40)
+    def test_rows_centered(self, sizes):
+        bumps = build_array(sizes)
+        for row in range(1, bumps.row_count + 1):
+            xs = [bumps.ball_position(n).x for n in bumps.row_nets(row)]
+            assert sum(xs) == pytest.approx(0.0, abs=1e-9)
+            assert xs == sorted(xs)
+
+    @given(row_lists)
+    @settings(max_examples=40)
+    def test_candidates_interleave_balls(self, sizes):
+        bumps = build_array(sizes)
+        for row in range(1, bumps.row_count + 1):
+            candidates = bumps.via_candidate_xs(row)
+            balls = [bumps.ball_position(n).x for n in bumps.row_nets(row)]
+            assert len(candidates) == len(balls) + 1
+            for index, ball_x in enumerate(balls):
+                assert candidates[index] < ball_x < candidates[index + 1]
+
+    @given(row_lists)
+    @settings(max_examples=40)
+    def test_via_is_first_candidate_left_of_ball(self, sizes):
+        bumps = build_array(sizes)
+        for row in range(1, bumps.row_count + 1):
+            candidates = bumps.via_candidate_xs(row)
+            for index, net_id in enumerate(bumps.row_nets(row)):
+                via = bumps.via_position(net_id)
+                assert via.x == pytest.approx(candidates[index])
+                assert via.y == pytest.approx(bumps.row_y(row) - bumps.pitch / 2)
+
+    def test_pitch_scales_geometry(self):
+        small = build_array([3, 2], pitch=1.0)
+        large = build_array([3, 2], pitch=2.5)
+        for net in (0, 4):
+            assert large.ball_position(net).x == pytest.approx(
+                2.5 * small.ball_position(net).x
+            )
+            assert large.ball_position(net).y == pytest.approx(
+                2.5 * small.ball_position(net).y
+            )
+
+
+class TestFingerGeometry:
+    @given(st.integers(min_value=1, max_value=40))
+    @settings(max_examples=30)
+    def test_slots_centered_and_ordered(self, count):
+        row = FingerRow(slot_count=count)
+        xs = [row.slot_position(slot).x for slot in range(1, count + 1)]
+        assert xs == sorted(xs)
+        assert sum(xs) == pytest.approx(0.0, abs=1e-9)
+        if count > 1:
+            gaps = {round(b - a, 9) for a, b in zip(xs, xs[1:])}
+            assert len(gaps) == 1  # uniform pitch
+
+    @given(st.integers(min_value=1, max_value=40))
+    @settings(max_examples=30)
+    def test_nearest_slot_roundtrip(self, count):
+        row = FingerRow(slot_count=count)
+        for slot in range(1, count + 1):
+            assert row.nearest_slot(row.slot_position(slot).x) == slot

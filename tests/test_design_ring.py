@@ -1,0 +1,67 @@
+"""Consistency of the chip boundary ring across package and power models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import CircuitSpec, build_design
+from repro.geometry import Side
+from repro.power import PowerGridConfig
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_design(CircuitSpec(name="ring", finger_count=80), seed=0)
+
+
+class TestRingSemantics:
+    def test_sides_walk_in_ring_order(self, design):
+        assert design.sides == [Side.BOTTOM, Side.RIGHT, Side.TOP, Side.LEFT]
+
+    def test_fractions_partition_the_ring(self, design):
+        fractions = [
+            design.ring_position(side, slot)
+            for side, quadrant in design
+            for slot in range(1, quadrant.net_count + 1)
+        ]
+        assert len(fractions) == design.total_net_count
+        # strictly increasing and evenly spaced at 1/total
+        diffs = [b - a for a, b in zip(fractions, fractions[1:])]
+        assert all(d == pytest.approx(1 / 80) for d in diffs)
+        assert fractions[0] == pytest.approx(0.5 / 80)
+
+    def test_side_boundaries(self, design):
+        bottom = design.quadrants[Side.BOTTOM]
+        last_bottom = design.ring_position(Side.BOTTOM, bottom.net_count)
+        first_right = design.ring_position(Side.RIGHT, 1)
+        assert last_bottom < first_right < 0.5
+
+    @given(st.floats(min_value=0.0, max_value=0.999))
+    @settings(max_examples=50)
+    def test_grid_ring_side_agreement(self, fraction):
+        """The grid's ring quadrant matches the package side at the same
+        fraction: bottom <-> [0, .25), right <-> [.25, .5), etc."""
+        config = PowerGridConfig(size=20)
+        x, y = config.ring_node(fraction)
+        g = config.size
+        side_index = int(fraction * 4) % 4
+        if side_index == 0:
+            assert y == 0
+        elif side_index == 1:
+            assert x == g - 1
+        elif side_index == 2:
+            assert y == g - 1
+        else:
+            assert x == 0
+
+    def test_pads_near_corners_map_to_corner_nodes(self, design):
+        config = PowerGridConfig(size=16)
+        # the first bottom pad is near the bottom-left corner
+        fraction = design.ring_position(Side.BOTTOM, 1)
+        x, y = config.ring_node(fraction)
+        assert y == 0 and x <= 2
+        # the last left pad approaches the same corner from above
+        left = design.quadrants[Side.LEFT]
+        fraction = design.ring_position(Side.LEFT, left.net_count)
+        x, y = config.ring_node(fraction)
+        assert x == 0 and y <= 2

@@ -1,0 +1,70 @@
+"""Tests for design-rule checking."""
+
+import pytest
+
+from repro.assign import DFAAssigner
+from repro.circuits import CIRCUIT_1, build_design
+from repro.geometry import Side
+from repro.package import (
+    PackageDesign,
+    PackageTechnology,
+    check_design,
+    quadrant_from_rows,
+)
+from repro.routing import max_density
+
+
+class TestDRC:
+    def test_table1_circuits_are_clean(self):
+        for index_seed in range(2):
+            design = build_design(CIRCUIT_1, seed=index_seed)
+            report = check_design(design)
+            assert report.is_clean, report.render()
+
+    def test_via_too_large(self):
+        technology = PackageTechnology(
+            bump_ball_space=0.05, via_diameter=0.1
+        )
+        quadrant = quadrant_from_rows([[0, 1, 2], [3, 4]], pitch=technology.bump_pitch)
+        design = PackageDesign({Side.BOTTOM: quadrant}, technology=technology)
+        report = check_design(design)
+        assert not report.is_clean
+        assert any(v.rule == "via-fits-gap" for v in report.errors)
+
+    def test_inverted_trapezoid_warned(self):
+        quadrant = quadrant_from_rows([[0, 1], [2, 3, 4]])  # widens inward
+        design = PackageDesign({Side.BOTTOM: quadrant})
+        report = check_design(design)
+        assert any(v.rule == "trapezoid-shape" for v in report.warnings)
+        assert report.is_clean  # warning, not error
+
+    def test_wire_capacity_rule(self, small_design):
+        assignments = DFAAssigner().assign_design(small_design)
+        densities = {
+            side: max_density(assignment)
+            for side, assignment in assignments.items()
+        }
+        clean = check_design(small_design, max_density=densities)
+        assert clean.is_clean
+
+        # an absurd congestion level must trip the rule
+        overloaded = {side: 1000 for side in densities}
+        report = check_design(small_design, max_density=overloaded)
+        assert any(v.rule == "wire-capacity" for v in report.errors)
+
+    def test_render(self, small_design):
+        report = check_design(small_design)
+        assert "DRC" in report.render() or "clean" in report.render()
+
+    def test_finger_overhang_warning(self):
+        from repro.package import FingerRow
+
+        technology = PackageTechnology()
+        quadrant = quadrant_from_rows(
+            [[0, 1, 2], [3, 4]],
+            pitch=technology.bump_pitch,
+            fingers=FingerRow(slot_count=5, width=5.0, space=5.0),
+        )
+        design = PackageDesign({Side.BOTTOM: quadrant}, technology=technology)
+        report = check_design(design)
+        assert any(v.rule == "finger-overhang" for v in report.warnings)

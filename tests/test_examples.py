@@ -1,0 +1,64 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are user-facing documentation; this module keeps them from
+rotting.  Each runs as a subprocess with a generous timeout; the slower
+flows use their committed (already fast-ish) parameters.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_circuit.py",
+    "flipchip_vs_wirebond.py",
+]
+SLOW_EXAMPLES = [
+    "routing_visualization.py",
+    "io_planning.py",
+    "irdrop_optimization.py",
+    "stacking_ic_design.py",
+    "floorplan_aware_planning.py",
+]
+
+
+def run_example(name: str, timeout: int) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES_DIR,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example(name):
+    result = run_example(name, timeout=120)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must print something useful"
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example(name):
+    result = run_example(name, timeout=420)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_every_example_is_listed():
+    """New example scripts must be added to the smoke lists above."""
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)
+
+
+def test_generated_svgs_cleaned(tmp_path):
+    """routing_visualization writes its SVGs next to itself; tolerate and
+    clean them so repeated test runs stay hermetic."""
+    for leftover in EXAMPLES_DIR.glob("*.svg"):
+        leftover.unlink()
+    assert not list(EXAMPLES_DIR.glob("*.svg"))

@@ -1,0 +1,77 @@
+"""Tests for the exhaustive ground-truth assigner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign import (
+    DFAAssigner,
+    ExhaustiveAssigner,
+    IFAAssigner,
+    exhaustive_best_assignment,
+    interleaving_count,
+    is_legal,
+    iter_legal_orders,
+)
+from repro.circuits import fig5_quadrant
+from repro.errors import AssignmentError
+from repro.package import quadrant_from_rows
+from repro.routing import max_density, total_flyline_length
+
+
+def tiny_quadrant(sizes):
+    next_id = iter(range(100))
+    return quadrant_from_rows([[next(next_id) for __ in range(s)] for s in sizes])
+
+
+class TestEnumeration:
+    def test_count_formula(self):
+        quadrant = tiny_quadrant([3, 2])
+        assert interleaving_count(quadrant) == 10  # C(5,3)
+
+    def test_fig5_count(self):
+        assert interleaving_count(fig5_quadrant()) == 27720
+
+    def test_all_orders_legal_and_distinct(self):
+        quadrant = tiny_quadrant([2, 2, 1])
+        orders = list(iter_legal_orders(quadrant))
+        assert len(orders) == interleaving_count(quadrant) == 30
+        assert len({tuple(o) for o in orders}) == 30
+        from repro.assign import Assignment
+
+        for order in orders:
+            assert is_legal(Assignment(quadrant, order))
+
+    def test_limit_enforced(self):
+        quadrant = fig5_quadrant()
+        with pytest.raises(AssignmentError):
+            exhaustive_best_assignment(quadrant, max_density, limit=100)
+
+
+class TestOptimality:
+    def test_dfa_is_optimal_on_fig5(self):
+        """The paper's DFA hits the true optimum on its own example."""
+        quadrant = fig5_quadrant()
+        optimum = ExhaustiveAssigner().assign(quadrant)
+        assert max_density(optimum) == 2
+        assert max_density(DFAAssigner().assign(quadrant)) == 2
+        assert max_density(IFAAssigner().assign(quadrant)) == 2
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=4), min_size=2, max_size=3)
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_heuristics_within_one_of_optimum(self, sizes):
+        """On tiny quadrants IFA and DFA stay within +1 of ground truth."""
+        quadrant = tiny_quadrant(sizes)
+        if interleaving_count(quadrant) > 50_000:
+            return
+        optimum = max_density(ExhaustiveAssigner().assign(quadrant))
+        assert max_density(DFAAssigner().assign(quadrant)) <= optimum + 1
+        assert max_density(IFAAssigner().assign(quadrant)) <= optimum + 1
+
+    def test_other_objectives(self):
+        quadrant = tiny_quadrant([3, 2])
+        shortest = exhaustive_best_assignment(quadrant, total_flyline_length)
+        dfa_length = total_flyline_length(DFAAssigner().assign(quadrant))
+        assert total_flyline_length(shortest) <= dfa_length + 1e-9

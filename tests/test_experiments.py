@@ -1,0 +1,56 @@
+"""Tests for the multi-seed sweep utilities."""
+
+import pytest
+
+from repro.circuits import CIRCUIT_1, build_design
+from repro.exchange import SAParams
+from repro.flow import (
+    CoDesignFlow,
+    Statistic,
+    codesign_experiment,
+    sweep_seeds,
+)
+from repro.power import PowerGridConfig
+
+
+class TestStatistic:
+    def test_moments(self):
+        stat = Statistic(name="x", values=(1.0, 2.0, 3.0))
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.std == pytest.approx(1.0)
+        assert stat.min == 1.0 and stat.max == 3.0
+        assert "mean 2.0000" in stat.render()
+
+    def test_single_value_std_zero(self):
+        assert Statistic(name="x", values=(5.0,)).std == 0.0
+
+
+class TestSweep:
+    def test_aggregation(self):
+        sweep = sweep_seeds(lambda seed: {"a": seed, "b": 2 * seed}, seeds=[1, 2, 3])
+        assert sweep["a"].mean == pytest.approx(2.0)
+        assert sweep["b"].max == 6.0
+        assert "a:" in sweep.render()
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_seeds(lambda seed: {"a": 1}, seeds=[])
+
+    def test_inconsistent_metrics_rejected(self):
+        def experiment(seed):
+            return {"a": 1} if seed == 1 else {"b": 2}
+
+        with pytest.raises(ValueError):
+            sweep_seeds(experiment, seeds=[1, 2])
+
+    def test_codesign_experiment(self):
+        design = build_design(CIRCUIT_1, seed=0)
+        flow = CoDesignFlow(
+            sa_params=SAParams(
+                initial_temp=0.03, final_temp=1e-3, cooling=0.88, moves_per_temp=40
+            ),
+            grid_config=PowerGridConfig(size=16),
+        )
+        sweep = sweep_seeds(codesign_experiment(design, flow), seeds=[1, 2])
+        assert sweep["ir_improvement"].count == 2
+        assert sweep["density_after_exchange"].min >= 0

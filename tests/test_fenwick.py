@@ -1,0 +1,80 @@
+"""Tests for the Fenwick free-slot index, including a brute-force oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign.fenwick import FreeSlotIndex
+from repro.errors import AssignmentError
+
+
+class TestBasics:
+    def test_initial_state(self):
+        index = FreeSlotIndex(5)
+        assert index.free_count == 5
+        assert index.kth_free(0) == 0
+        assert index.kth_free(4) == 4
+        assert index.free_before(3) == 3
+
+    def test_take_and_query(self):
+        index = FreeSlotIndex(5)
+        index.take(1)
+        index.take(3)
+        assert index.free_count == 3
+        assert not index.is_free(1)
+        assert index.kth_free(0) == 0
+        assert index.kth_free(1) == 2
+        assert index.kth_free(2) == 4
+        assert index.free_before(4) == 2  # slots 0 and 2
+
+    def test_kth_free_after(self):
+        index = FreeSlotIndex(6)
+        index.take(0)
+        index.take(2)
+        # free: 1, 3, 4, 5
+        assert index.kth_free_after(0, -1) == 1
+        assert index.kth_free_after(0, 1) == 3
+        assert index.kth_free_after(2, 1) == 5
+        assert index.free_after(1) == 3
+
+    def test_errors(self):
+        index = FreeSlotIndex(3)
+        with pytest.raises(AssignmentError):
+            FreeSlotIndex(0)
+        with pytest.raises(AssignmentError):
+            index.kth_free(3)
+        index.take(0)
+        with pytest.raises(AssignmentError):
+            index.take(0)
+        with pytest.raises(AssignmentError):
+            index.take(5)
+
+
+class TestAgainstOracle:
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_interleaving(self, size, seed):
+        """Random takes + queries must match a plain-list oracle."""
+        rng = random.Random(seed)
+        index = FreeSlotIndex(size)
+        free = list(range(size))
+        for __ in range(size):
+            if free and rng.random() < 0.6:
+                victim = rng.choice(free)
+                index.take(victim)
+                free.remove(victim)
+            if free:
+                k = rng.randrange(len(free))
+                assert index.kth_free(k) == free[k]
+                boundary = rng.randrange(-1, size)
+                expected_after = [s for s in free if s > boundary]
+                assert index.free_after(boundary) == len(expected_after)
+                if expected_after:
+                    j = rng.randrange(len(expected_after))
+                    assert index.kth_free_after(j, boundary) == expected_after[j]
+            assert index.free_count == len(free)

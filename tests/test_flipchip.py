@@ -1,0 +1,51 @@
+"""Tests for the flip-chip (area-array) comparison (paper section 2.4)."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power import (
+    PowerGridConfig,
+    area_pad_nodes,
+    compare_packaging,
+)
+
+
+class TestAreaPads:
+    def test_grid_shape(self):
+        config = PowerGridConfig(size=20)
+        nodes = area_pad_nodes(config, pads_per_side=3)
+        assert len(nodes) == 9
+        # all pads inside the die, none on the very edge (margin 0.1)
+        for x, y in nodes:
+            assert 0 < x < 19 and 0 < y < 19
+
+    def test_single_pad_centered(self):
+        config = PowerGridConfig(size=21)
+        nodes = area_pad_nodes(config, pads_per_side=1)
+        assert nodes == [(10, 10)]
+
+    def test_validation(self):
+        config = PowerGridConfig(size=10)
+        with pytest.raises(PowerModelError):
+            area_pad_nodes(config, pads_per_side=0)
+        with pytest.raises(PowerModelError):
+            area_pad_nodes(config, pads_per_side=2, margin=0.7)
+
+
+class TestComparison:
+    def test_flipchip_beats_wirebond(self):
+        """The paper's section-2.4 claim, quantified."""
+        config = PowerGridConfig(size=24)
+        comparison = compare_packaging(config, pad_count=9)
+        assert comparison.flipchip_max_drop < comparison.wirebond_max_drop
+        assert 0 < comparison.flipchip_advantage < 1
+
+    def test_advantage_grows_with_die_size(self):
+        """Bigger cores suffer more from boundary-only delivery."""
+        small = compare_packaging(PowerGridConfig(size=12), pad_count=9)
+        large = compare_packaging(PowerGridConfig(size=36), pad_count=9)
+        assert large.flipchip_advantage > small.flipchip_advantage
+
+    def test_pad_count_validated(self):
+        with pytest.raises(PowerModelError):
+            compare_packaging(PowerGridConfig(size=12), pad_count=0)

@@ -1,0 +1,93 @@
+"""Tests for floorplan-driven current maps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power import (
+    FDSolver,
+    Floorplan,
+    Module,
+    PowerGridConfig,
+    example_soc_floorplan,
+)
+
+
+class TestModule:
+    def test_validation(self):
+        with pytest.raises(PowerModelError):
+            Module("m", -0.1, 0, 0.5, 0.5, power=1.0)
+        with pytest.raises(PowerModelError):
+            Module("m", 0, 0, 0, 0.5, power=1.0)
+        with pytest.raises(PowerModelError):
+            Module("m", 0.8, 0.8, 0.5, 0.5, power=1.0)  # off the die
+        with pytest.raises(PowerModelError):
+            Module("m", 0, 0, 0.5, 0.5, power=-1.0)
+
+    def test_area(self):
+        assert Module("m", 0, 0, 0.5, 0.25, power=0).area == pytest.approx(0.125)
+
+
+class TestFloorplan:
+    def test_duplicate_names_rejected(self):
+        module = Module("m", 0, 0, 0.5, 0.5, power=1.0)
+        with pytest.raises(PowerModelError):
+            Floorplan([module, module])
+
+    def test_current_conservation(self):
+        """The compiled map must carry exactly the floorplan's current."""
+        config = PowerGridConfig(size=32)
+        floorplan = example_soc_floorplan(total_current=0.1)
+        current = floorplan.current_map(config)
+        expected = floorplan.total_power + floorplan.background_current * 32 * 32
+        assert current.sum() == pytest.approx(expected, rel=1e-9)
+
+    def test_hot_module_visible(self):
+        config = PowerGridConfig(size=32)
+        floorplan = Floorplan(
+            [Module("hot", 0.6, 0.6, 0.3, 0.3, power=1.0)],
+            background_current=1e-6,
+        )
+        current = floorplan.current_map(config)
+        inside = current[int(0.7 * 32), int(0.7 * 32)]
+        outside = current[int(0.2 * 32), int(0.2 * 32)]
+        assert inside > outside * 100
+
+    def test_tiny_module_lands_on_one_node(self):
+        config = PowerGridConfig(size=8)
+        floorplan = Floorplan(
+            [Module("tiny", 0.49, 0.49, 0.01, 0.01, power=0.5)],
+        )
+        current = floorplan.current_map(config)
+        assert current.max() == pytest.approx(0.5)
+        assert np.count_nonzero(current) == 1
+
+    def test_boundary_demand_profile(self):
+        config = PowerGridConfig(size=32)
+        floorplan = Floorplan(
+            [Module("hot", 0.7, 0.7, 0.25, 0.25, power=1.0)],
+            background_current=1e-6,
+        )
+        demand = floorplan.boundary_demand(config)
+        # the ring stretch behind the hot block (upper right edge, ~0.45)
+        # is hotter than the far-away bottom-left corner
+        assert demand(0.45) > demand(0.0)
+        assert all(demand(t / 20) > 0 for t in range(20))
+
+    def test_solver_integration(self):
+        """A plan near the hot block beats a plan far from it."""
+        config = PowerGridConfig(size=24)
+        floorplan = Floorplan(
+            [Module("hot", 0.6, 0.6, 0.35, 0.35, power=0.002)],
+            background_current=1e-7,
+        )
+        solver = FDSolver(config, current_map=floorplan.current_map(config))
+        near_hot = solver.solve_fractions([0.45, 0.5, 0.55]).max_drop
+        far_away = solver.solve_fractions([0.95, 0.0, 0.05]).max_drop
+        assert near_hot < far_away
+
+    def test_example_floorplan(self):
+        floorplan = example_soc_floorplan()
+        names = {module.name for module in floorplan.modules}
+        assert {"cpu", "npu", "l2cache", "io"} == names
+        assert floorplan.total_power > 0

@@ -1,0 +1,121 @@
+"""Tests for the co-design flow, the comparison engine and reports."""
+
+import pytest
+
+from repro.assign import DFAAssigner, IFAAssigner, BestOfRandomAssigner
+from repro.circuits import CIRCUIT_1, build_design
+from repro.exchange import SAParams
+from repro.flow import (
+    CoDesignFlow,
+    compare_assigners,
+    improvement_ratio,
+    measure,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.power import PowerGridConfig
+
+FAST_SA = SAParams(initial_temp=0.03, final_temp=1e-3, cooling=0.9, moves_per_temp=60)
+SMALL_GRID = PowerGridConfig(size=16)
+
+
+@pytest.fixture(scope="module")
+def designs():
+    return {"circuit1": build_design(CIRCUIT_1, seed=0)}
+
+
+class TestMeasure:
+    def test_metrics_fields(self, small_design):
+        assignments = DFAAssigner().assign_design(small_design)
+        metrics = measure(small_design, assignments, grid_config=SMALL_GRID)
+        assert metrics.max_density > 0
+        assert metrics.wirelength > 0
+        assert metrics.max_ir_drop > 0
+        assert metrics.omega is None  # psi == 1
+        assert metrics.as_dict()["max_density"] == metrics.max_density
+
+    def test_skip_ir(self, small_design):
+        assignments = DFAAssigner().assign_design(small_design)
+        metrics = measure(small_design, assignments, with_ir=False)
+        assert metrics.max_ir_drop is None
+
+    def test_stacked_has_omega(self, stacked_design):
+        assignments = DFAAssigner().assign_design(stacked_design)
+        metrics = measure(
+            stacked_design, assignments, grid_config=SMALL_GRID
+        )
+        assert metrics.omega is not None and metrics.omega >= 0
+
+    def test_improvement_ratio(self):
+        assert improvement_ratio(10, 5) == pytest.approx(0.5)
+        assert improvement_ratio(0, 5) == 0.0
+
+
+class TestComparison:
+    def test_table2_engine(self, designs):
+        table = compare_assigners(designs, seed=1)
+        assert table.assigners() == ["Random", "IFA", "DFA"]
+        assert table.circuits() == ["circuit1"]
+        random_run = table.cell("circuit1", "Random")
+        dfa_run = table.cell("circuit1", "DFA")
+        # the paper's headline ordering
+        assert dfa_run.max_density <= random_run.max_density
+        assert table.average_density_ratio("Random") == pytest.approx(1.0)
+        assert table.average_density_ratio("DFA") <= 1.0
+        assert table.average_wirelength_ratio("DFA") <= 1.05
+
+    def test_flyline_recorded(self, designs):
+        table = compare_assigners(designs, seed=1)
+        for run in table.runs:
+            assert 0 < run.flyline_length <= run.wirelength + 1e-9
+
+    def test_missing_cell_raises(self, designs):
+        table = compare_assigners(designs, seed=1)
+        with pytest.raises(KeyError):
+            table.cell("circuit1", "nope")
+
+    def test_custom_assigners(self, designs):
+        table = compare_assigners(
+            designs, assigners=(BestOfRandomAssigner(trials=2), IFAAssigner()), seed=0
+        )
+        assert table.assigners() == ["Random", "IFA"]
+
+
+class TestCoDesignFlow:
+    def test_full_run(self, designs):
+        flow = CoDesignFlow(sa_params=FAST_SA, grid_config=SMALL_GRID)
+        result = flow.run(designs["circuit1"], seed=3)
+        assert result.metrics_initial.max_ir_drop > 0
+        assert result.metrics_final.max_ir_drop > 0
+        assert result.density_after_assignment >= 0
+        assert result.density_after_exchange >= result.density_after_assignment - 1
+        # the exchange never picks something worse than its own baseline
+        assert result.ir_improvement >= -0.05
+
+    def test_custom_assigner(self, designs):
+        flow = CoDesignFlow(
+            assigner=IFAAssigner(), sa_params=FAST_SA, grid_config=SMALL_GRID
+        )
+        result = flow.run(designs["circuit1"], seed=3)
+        assert result.exchange is not None
+
+
+class TestReports:
+    def test_table1_contains_all_circuits(self):
+        text = render_table1()
+        for index in range(1, 6):
+            assert f"circuit{index}" in text
+        assert "96" in text and "448" in text
+
+    def test_table2_render(self, designs):
+        table = compare_assigners(designs, seed=1)
+        text = render_table2(table)
+        assert "circuit1" in text and "Average" in text
+        assert "density DFA" in text
+
+    def test_table3_render(self, designs):
+        flow = CoDesignFlow(sa_params=FAST_SA, grid_config=SMALL_GRID)
+        result = flow.run(designs["circuit1"], seed=3)
+        text = render_table3({"circuit1": result}, {"circuit1": result})
+        assert "circuit1" in text and "Average improvement" in text

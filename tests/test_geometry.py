@@ -1,0 +1,188 @@
+"""Unit tests for the geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    GridSpec,
+    Point,
+    Rect,
+    Segment,
+    Side,
+    canonical_to_side,
+    rotate_quarters,
+    side_to_canonical,
+)
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_arithmetic(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_distances(self):
+        a, b = Point(0, 0), Point(3, 4)
+        assert a.euclidean(b) == 5.0
+        assert a.manhattan(b) == 7.0
+        assert a.chebyshev(b) == 4.0
+
+    def test_midpoint_and_translate(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_vector_ops(self):
+        assert Point(3, 4).norm() == 5.0
+        assert Point(1, 0).dot(Point(0, 1)) == 0.0
+        assert Point(1, 0).cross(Point(0, 1)) == 1.0
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+    def test_iteration_and_tuple(self):
+        assert tuple(Point(1, 2)) == (1, 2)
+        assert Point(1, 2).as_tuple() == (1, 2)
+
+    @given(points, points)
+    def test_distance_symmetry(self, a, b):
+        assert a.euclidean(b) == pytest.approx(b.euclidean(a))
+        assert a.manhattan(b) == pytest.approx(b.manhattan(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.euclidean(c) <= a.euclidean(b) + b.euclidean(c) + 1e-6
+
+
+class TestRect:
+    def test_properties(self):
+        rect = Rect(1, 2, 3, 4)
+        assert rect.urx == 4 and rect.ury == 6
+        assert rect.center == Point(2.5, 4)
+        assert rect.area == 12
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, -1, 1)
+
+    def test_from_corners_any_order(self):
+        rect = Rect.from_corners(Point(4, 6), Point(1, 2))
+        assert (rect.llx, rect.lly, rect.width, rect.height) == (1, 2, 3, 4)
+
+    def test_from_center(self):
+        rect = Rect.from_center(Point(0, 0), 2, 4)
+        assert rect.lower_left == Point(-1, -2)
+        assert rect.upper_right == Point(1, 2)
+
+    def test_contains(self):
+        rect = Rect(0, 0, 2, 2)
+        assert rect.contains(Point(1, 1))
+        assert rect.contains(Point(0, 0))
+        assert not rect.contains(Point(3, 1))
+        assert rect.contains(Point(2.05, 1), tol=0.1)
+
+    def test_intersects(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(1, 1, 2, 2))
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 1, 1))
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 1, 1))  # touching
+
+    def test_inflated(self):
+        rect = Rect(0, 0, 2, 2).inflated(1)
+        assert (rect.llx, rect.lly, rect.width, rect.height) == (-1, -1, 4, 4)
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 2, 2).inflated(-2)
+
+    def test_translated(self):
+        rect = Rect(0, 0, 1, 1).translated(5, -3)
+        assert rect.lower_left == Point(5, -3)
+
+
+class TestSegment:
+    def test_lengths(self):
+        seg = Segment(Point(0, 0), Point(3, 4))
+        assert seg.length == 5.0
+        assert seg.manhattan_length == 7.0
+
+    def test_orientation(self):
+        assert Segment(Point(0, 0), Point(5, 0)).is_horizontal
+        assert Segment(Point(0, 0), Point(0, 5)).is_vertical
+
+    def test_crossing(self):
+        seg = Segment(Point(0, 0), Point(2, 4))
+        assert seg.crosses_horizontal_line(2)
+        assert not seg.crosses_horizontal_line(5)
+        assert seg.x_at_y(2) == pytest.approx(1.0)
+        assert seg.x_at_y(5) is None
+
+    def test_horizontal_has_no_unique_crossing(self):
+        seg = Segment(Point(0, 1), Point(5, 1))
+        assert seg.x_at_y(1) is None
+
+    def test_reversed(self):
+        seg = Segment(Point(0, 0), Point(1, 1)).reversed()
+        assert seg.a == Point(1, 1)
+
+
+class TestGridSpec:
+    def test_basic(self):
+        grid = GridSpec(cols=3, rows=2, pitch_x=1.0, pitch_y=2.0)
+        assert grid.site_count == 6
+        assert grid.point_at(1, 1) == Point(0, 0)
+        assert grid.point_at(3, 2) == Point(2, 2)
+        assert grid.width == 2.0 and grid.height == 2.0
+
+    def test_invalid(self):
+        with pytest.raises(GeometryError):
+            GridSpec(cols=0, rows=1, pitch_x=1, pitch_y=1)
+        with pytest.raises(GeometryError):
+            GridSpec(cols=1, rows=1, pitch_x=0, pitch_y=1)
+        grid = GridSpec(cols=2, rows=2, pitch_x=1, pitch_y=1)
+        with pytest.raises(GeometryError):
+            grid.point_at(3, 1)
+
+    def test_sites_iteration(self):
+        grid = GridSpec(cols=2, rows=2, pitch_x=1, pitch_y=1)
+        assert list(grid.sites()) == [(1, 1), (2, 1), (1, 2), (2, 2)]
+        assert grid.row_sites(2) == [(1, 2), (2, 2)]
+
+    def test_nearest_site_clamps(self):
+        grid = GridSpec(cols=3, rows=3, pitch_x=1, pitch_y=1)
+        assert grid.nearest_site(Point(0.4, 0.4)) == (1, 1)
+        assert grid.nearest_site(Point(100, 100)) == (3, 3)
+        assert grid.nearest_site(Point(-100, -100)) == (1, 1)
+
+
+class TestTransforms:
+    def test_rotations_cycle(self):
+        p = Point(1, 2)
+        assert rotate_quarters(p, 4) == p
+        assert rotate_quarters(p, 1) == Point(-2, 1)
+        assert rotate_quarters(p, 2) == Point(-1, -2)
+
+    @given(points, st.integers(min_value=0, max_value=7))
+    def test_rotation_preserves_norm(self, p, quarters):
+        assert rotate_quarters(p, quarters).norm() == pytest.approx(p.norm())
+
+    @given(points, st.sampled_from(list(Side)))
+    def test_side_roundtrip(self, p, side):
+        center = Point(10, 20)
+        there = canonical_to_side(p, side, center)
+        back = side_to_canonical(there, side, center)
+        assert back.is_close(p, tol=1e-6)
+
+    def test_side_rotation_order(self):
+        assert Side.BOTTOM.rotation_quarters == 0
+        assert Side.RIGHT.rotation_quarters == 1
+        assert Side.TOP.rotation_quarters == 2
+        assert Side.LEFT.rotation_quarters == 3

@@ -1,0 +1,87 @@
+"""Tests for the greedy exchanger and the per-net routing report."""
+
+import pytest
+
+from repro.assign import DFAAssigner, is_legal
+from repro.circuits import fig5_quadrant
+from repro.exchange import FingerPadExchanger, GreedyExchanger, SAParams
+from repro.routing import (
+    MonotonicRouter,
+    render_routing_report,
+    routing_report,
+    write_routing_csv,
+)
+
+FAST_SA = SAParams(initial_temp=0.03, final_temp=1e-3, cooling=0.9, moves_per_temp=60)
+
+
+class TestGreedyExchanger:
+    def test_never_worse_than_initial(self, small_design):
+        initial = DFAAssigner().assign_design(small_design)
+        result = GreedyExchanger(small_design).run(initial)
+        assert (
+            result.cost_breakdown_after["total"]
+            <= result.cost_breakdown_before["total"] + 1e-9
+        )
+        for assignment in result.after.values():
+            assert is_legal(assignment)
+
+    def test_deterministic(self, small_design):
+        initial = DFAAssigner().assign_design(small_design)
+        a = GreedyExchanger(small_design).run(initial)
+        b = GreedyExchanger(small_design).run(initial, seed=123)  # seed ignored
+        assert {s: x.order for s, x in a.after.items()} == {
+            s: x.order for s, x in b.after.items()
+        }
+
+    def test_sa_at_least_matches_greedy(self, small_design):
+        """The annealer's whole point: it should not lose to hill-climbing."""
+        initial = DFAAssigner().assign_design(small_design)
+        greedy = GreedyExchanger(small_design).run(initial)
+        annealed = FingerPadExchanger(small_design, params=FAST_SA).run(
+            initial, seed=7
+        )
+        assert (
+            annealed.cost_breakdown_after["total"]
+            <= greedy.cost_breakdown_after["total"] + 0.05
+        )
+
+
+class TestRoutingReport:
+    @pytest.fixture
+    def routed(self):
+        quadrant = fig5_quadrant()
+        assignment = DFAAssigner().assign(quadrant)
+        return assignment, MonotonicRouter().route(assignment)
+
+    def test_rows_cover_all_nets(self, routed):
+        assignment, result = routed
+        rows = routing_report(assignment, result)
+        assert len(rows) == 12
+        assert [row.finger_slot for row in rows] == list(range(1, 13))
+        for row in rows:
+            assert row.routed_length >= row.flyline_length - 1e-9
+            assert row.detour_ratio >= 1.0 - 1e-9
+
+    def test_render(self, routed):
+        assignment, result = routed
+        text = render_routing_report(assignment, result)
+        assert "max density 2" in text
+        assert "N10" in text
+
+    def test_render_top_k(self, routed):
+        assignment, result = routed
+        text = render_routing_report(assignment, result, top=3)
+        # header + 3 rows + total line
+        assert len(text.splitlines()) == 5
+
+    def test_csv_roundtrip(self, routed, tmp_path):
+        import csv
+
+        assignment, result = routed
+        path = tmp_path / "routes.csv"
+        write_routing_csv(assignment, result, path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 12
+        assert float(rows[0]["detour_ratio"]) >= 1.0

@@ -1,0 +1,105 @@
+"""Metamorphic tests: transformations with known effects on the model.
+
+Each test transforms a problem instance in a way whose effect on the
+answer is known a priori (invariant, linear, or deliberately *not*
+invariant), catching bugs that example-based tests cannot.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign import Assignment, DFAAssigner, RandomAssigner
+from repro.package import quadrant_from_rows
+from repro.routing import MonotonicRouter, max_density, total_flyline_length
+
+row_sizes = st.lists(st.integers(min_value=1, max_value=8), min_size=2, max_size=4)
+seeds = st.integers(min_value=0, max_value=500)
+
+
+def build(sizes, pitch=1.0, offset=0):
+    next_id = iter(range(offset, offset + 1000))
+    rows = [[next(next_id) for __ in range(s)] for s in sizes]
+    return quadrant_from_rows(rows, pitch=pitch)
+
+
+class TestRelabeling:
+    @given(row_sizes, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_net_ids_are_cosmetic(self, sizes, seed):
+        """Shifting every net id leaves all metrics untouched."""
+        base = build(sizes)
+        shifted = build(sizes, offset=100)
+        a = RandomAssigner().assign(base, seed=seed)
+        b = Assignment(shifted, [net + 100 for net in a.order])
+        assert max_density(a) == max_density(b)
+        assert total_flyline_length(a) == pytest.approx(total_flyline_length(b))
+
+
+class TestScaling:
+    @given(row_sizes, seeds, st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=25, deadline=None)
+    def test_pitch_scales_wirelength_not_density(self, sizes, seed, factor):
+        """Bump pitch is a pure length unit: density is scale-free and the
+        flyline scales linearly (fingers keep their own pitch, so only the
+        bump-side contribution scales — we scale both via the quadrant)."""
+        base = build(sizes, pitch=1.0)
+        scaled = build(sizes, pitch=factor)
+        order = RandomAssigner().assign(base, seed=seed).order
+        a = Assignment(base, order)
+        b = Assignment(scaled, order)
+        assert max_density(a) == max_density(b)
+        # wirelength is not exactly linear (finger pitch fixed), but it must
+        # move in the same direction as the scale factor
+        if factor > 1:
+            assert total_flyline_length(b) > total_flyline_length(a)
+        elif factor < 1:
+            assert total_flyline_length(b) < total_flyline_length(a)
+
+
+class TestMirrorAsymmetry:
+    def test_mirroring_may_change_density(self):
+        """The model is deliberately left-right asymmetric.
+
+        The bottom-left via convention gives the *rightmost* run two
+        intervals and the leftmost only one, so mirroring an instance can
+        change its max density — this documents the asymmetry as intended
+        behaviour rather than a bug.
+        """
+        quadrant = quadrant_from_rows([[0, 1, 2, 3, 4], [5, 6]])
+        # all passing wires left of the leftmost via: 1 interval
+        left_heavy = Assignment(quadrant, [0, 1, 2, 3, 5, 6, 4])
+        # mirrored: all passing wires right of the rightmost via: 2 intervals
+        right_heavy = Assignment(quadrant, [0, 5, 6, 1, 2, 3, 4])
+        assert max_density(left_heavy) != max_density(right_heavy)
+
+    @given(row_sizes, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_mirror_changes_density_by_at_most_a_factor_of_two(self, sizes, seed):
+        """The asymmetry is bounded: the free candidate halves one run."""
+        quadrant = build(sizes)
+        assignment = RandomAssigner().assign(quadrant, seed=seed)
+        mirrored_rows = [quadrant.row_nets(r)[::-1] for r in range(1, quadrant.row_count + 1)]
+        mirrored = quadrant_from_rows(mirrored_rows)
+        mirrored_assignment = Assignment(mirrored, assignment.order[::-1])
+        a = max_density(assignment)
+        b = max_density(mirrored_assignment)
+        assert b <= 2 * a + 1 and a <= 2 * b + 1
+
+
+class TestRouterConsistency:
+    @given(row_sizes, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_routing_is_a_pure_function(self, sizes, seed):
+        quadrant = build(sizes)
+        assignment = RandomAssigner().assign(quadrant, seed=seed)
+        first = MonotonicRouter().route(assignment)
+        second = MonotonicRouter().route(assignment)
+        for net_id in first.nets:
+            assert first.nets[net_id].layer1_points == second.nets[net_id].layer1_points
+
+    @given(row_sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_dfa_deterministic_across_calls(self, sizes):
+        quadrant = build(sizes)
+        assert DFAAssigner().assign(quadrant).order == DFAAssigner().assign(quadrant).order

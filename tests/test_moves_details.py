@@ -1,0 +1,73 @@
+"""Fine-grained behaviour of the exchange move generator."""
+
+import random
+
+import pytest
+
+from repro.assign import DFAAssigner
+from repro.exchange import MoveGenerator, SwapMove
+from repro.package import quadrant_from_rows, PackageDesign
+from repro.geometry import Side
+
+
+class TestMoveGeneration:
+    def test_no_candidates_returns_none(self):
+        """A design whose only nets are signals has no 2-D moves."""
+        quadrant = quadrant_from_rows([[0, 1, 2], [3, 4]])
+        design = PackageDesign({Side.BOTTOM: quadrant})
+        assignments = DFAAssigner().assign_design(design)
+        generator = MoveGenerator(design, assignments)  # power_only for psi=1
+        assert generator.propose(random.Random(0)) is None
+
+    def test_power_override(self):
+        quadrant = quadrant_from_rows([[0, 1, 2], [3, 4]], supply_ids=[1])
+        design = PackageDesign({Side.BOTTOM: quadrant})
+        assignments = DFAAssigner().assign_design(design)
+        all_moves = MoveGenerator(design, assignments, power_only=False)
+        assert len(all_moves._collect_candidates()) == 5
+        only_power = MoveGenerator(design, assignments, power_only=True)
+        assert len(only_power._collect_candidates()) == 1
+
+    def test_moves_are_adjacent(self, small_design):
+        assignments = DFAAssigner().assign_design(small_design)
+        generator = MoveGenerator(small_design, assignments, power_only=False)
+        rng = random.Random(7)
+        for __ in range(100):
+            move = generator.propose(rng)
+            if move is not None:
+                assert move.slot_b == move.slot_a + 1
+
+    def test_boundary_slots_fall_back_inward(self):
+        """A net at slot 1 can only swap right; the generator retries."""
+        quadrant = quadrant_from_rows([[0, 1], [2]], supply_ids=[0, 1, 2])
+        design = PackageDesign({Side.BOTTOM: quadrant})
+        assignments = DFAAssigner().assign_design(design)
+        generator = MoveGenerator(design, assignments, power_only=False)
+        rng = random.Random(0)
+        seen = set()
+        for __ in range(200):
+            move = generator.propose(rng)
+            if move:
+                seen.add((move.slot_a, move.slot_b))
+                assert 1 <= move.slot_a < move.slot_b <= 3
+        assert seen  # some legal move exists (rows differ somewhere)
+
+    def test_apply_undo_roundtrip_many(self, small_design):
+        assignments = DFAAssigner().assign_design(small_design)
+        snapshot = {side: a.order for side, a in assignments.items()}
+        generator = MoveGenerator(small_design, assignments, power_only=False)
+        rng = random.Random(3)
+        stack = []
+        for __ in range(50):
+            move = generator.propose(rng)
+            if move:
+                generator.apply(move)
+                stack.append(move)
+        for move in reversed(stack):
+            generator.undo(move)
+        assert {side: a.order for side, a in assignments.items()} == snapshot
+
+    def test_swapmove_is_frozen(self):
+        move = SwapMove(side=Side.BOTTOM, slot_a=1, slot_b=2)
+        with pytest.raises(Exception):
+            move.slot_a = 5

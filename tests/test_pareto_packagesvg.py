@@ -1,0 +1,72 @@
+"""Tests for the trade-off sweep and whole-package rendering."""
+
+import pytest
+
+from repro.assign import DFAAssigner
+from repro.circuits import CIRCUIT_1, build_design
+from repro.exchange import SAParams
+from repro.flow import TradeoffCurve, TradeoffPoint, sweep_density_weight
+from repro.power import PowerGridConfig
+from repro.routing import route_design
+from repro.viz import package_to_svg, save_package_svg
+
+FAST_SA = SAParams(initial_temp=0.03, final_temp=1e-3, cooling=0.88, moves_per_temp=40)
+
+
+class TestTradeoffPoint:
+    def test_dominance(self):
+        a = TradeoffPoint(0.1, max_density=4, max_ir_drop=0.01)
+        b = TradeoffPoint(0.2, max_density=5, max_ir_drop=0.02)
+        c = TradeoffPoint(0.3, max_density=4, max_ir_drop=0.02)
+        assert a.dominates(b)
+        assert a.dominates(c)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_frontier_extraction(self):
+        curve = TradeoffCurve(
+            points=[
+                TradeoffPoint(0.1, 7, 0.010),
+                TradeoffPoint(0.2, 5, 0.012),
+                TradeoffPoint(0.3, 5, 0.015),  # dominated by the 0.2 point
+                TradeoffPoint(0.4, 4, 0.020),
+            ]
+        )
+        frontier = curve.frontier()
+        assert [p.density_weight for p in frontier] == [0.4, 0.2, 0.1]
+        assert "frontier" in curve.render()
+
+
+class TestSweep:
+    def test_sweep_runs_and_is_monotone_ish(self, small_design):
+        curve = sweep_density_weight(
+            small_design,
+            weights=(0.02, 0.5),
+            sa_params=FAST_SA,
+            grid_config=PowerGridConfig(size=16),
+            seed=3,
+        )
+        assert len(curve.points) == 2
+        light, heavy = curve.points
+        # the heavy density weight never allows more density growth
+        assert heavy.max_density <= light.max_density + 1
+        assert curve.frontier()
+
+
+class TestPackageSVG:
+    def test_full_package_render(self, small_design, tmp_path):
+        assignments = DFAAssigner().assign_design(small_design)
+        results = route_design(assignments)
+        svg = package_to_svg(small_design, assignments, results)
+        assert svg.startswith("<svg")
+        assert svg.count("<polyline") == small_design.total_net_count
+        path = tmp_path / "package.svg"
+        save_package_svg(small_design, assignments, results, path)
+        assert path.read_text().endswith("</svg>")
+
+    def test_supply_nets_colored(self, small_design):
+        assignments = DFAAssigner().assign_design(small_design)
+        results = route_design(assignments)
+        svg = package_to_svg(small_design, assignments, results)
+        assert "#cc3311" in svg  # power
+        assert "#009988" in svg  # ground

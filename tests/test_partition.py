@@ -1,0 +1,101 @@
+"""Tests for the net-to-quadrant partitioning pre-step."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign import (
+    DFAAssigner,
+    Partition,
+    PartitionSpec,
+    is_legal,
+    partition_ring,
+    partition_to_rows,
+)
+from repro.errors import AssignmentError
+from repro.geometry import Side
+from repro.package import PackageDesign, quadrant_from_rows
+
+
+class TestPartitionSpec:
+    def test_even_split(self):
+        capacities = PartitionSpec().resolve(10)
+        assert sum(capacities.values()) == 10
+        assert max(capacities.values()) - min(capacities.values()) <= 1
+
+    def test_explicit_capacities(self):
+        spec = PartitionSpec(
+            capacities={Side.BOTTOM: 4, Side.RIGHT: 3, Side.TOP: 2, Side.LEFT: 1}
+        )
+        assert spec.resolve(10)[Side.BOTTOM] == 4
+
+    def test_capacity_mismatch_rejected(self):
+        spec = PartitionSpec(capacities={Side.BOTTOM: 5, Side.RIGHT: 5,
+                                         Side.TOP: 5, Side.LEFT: 5})
+        with pytest.raises(AssignmentError):
+            spec.resolve(10)
+
+
+class TestPartitionRing:
+    def test_contiguous_arcs(self):
+        partition = partition_ring(list(range(12)))
+        assert partition.net_count == 12
+        assert partition.sides[Side.BOTTOM] == [0, 1, 2]
+        assert partition.sides[Side.LEFT] == [9, 10, 11]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(AssignmentError):
+            partition_ring([1, 1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AssignmentError):
+            partition_ring([])
+
+    def test_side_of(self):
+        partition = partition_ring(list(range(8)))
+        assert partition.side_of(0) is Side.BOTTOM
+        with pytest.raises(AssignmentError):
+            partition.side_of(99)
+
+    def test_preferences_steer_rotation(self):
+        # prefer nets 4..7 on the BOTTOM: rotation by 4 satisfies everyone
+        preferred = {net: Side.BOTTOM for net in (4, 5, 6, 7)}
+        partition = partition_ring(list(range(16)), preferred=preferred)
+        assert partition.mismatch(preferred) == 0
+        assert partition.sides[Side.BOTTOM] == [4, 5, 6, 7]
+
+    def test_mismatch_counts(self):
+        partition = Partition(sides={Side.BOTTOM: [0, 1],
+                                     Side.RIGHT: [2],
+                                     Side.TOP: [],
+                                     Side.LEFT: []})
+        assert partition.mismatch({0: Side.RIGHT, 2: Side.RIGHT}) == 1
+
+    @given(st.integers(min_value=4, max_value=64))
+    @settings(max_examples=30)
+    def test_partition_covers_everything(self, count):
+        partition = partition_ring(list(range(count)))
+        collected = [n for side in partition.sides.values() for n in side]
+        assert sorted(collected) == list(range(count))
+
+
+class TestPartitionToDesign:
+    def test_rows_feed_the_package_model(self):
+        """partition -> rows -> quadrants -> legal DFA assignment."""
+        partition = partition_ring(list(range(48)))
+        rows_by_side = partition_to_rows(partition, rows_per_quadrant=4)
+        quadrants = {
+            side: quadrant_from_rows(rows, side=side)
+            for side, rows in rows_by_side.items()
+        }
+        design = PackageDesign(quadrants, name="partitioned")
+        assert design.total_net_count == 48
+        for assignment in DFAAssigner().assign_design(design).values():
+            assert is_legal(assignment)
+
+    def test_row_sizes_are_trapezoids(self):
+        partition = partition_ring(list(range(52)))
+        rows_by_side = partition_to_rows(partition)
+        for rows in rows_by_side.values():
+            sizes = [len(row) for row in rows]
+            assert sizes == sorted(sizes, reverse=True)

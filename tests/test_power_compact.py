@@ -1,0 +1,122 @@
+"""Tests for the compact IR proxy, including its FD-solver correlation."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import spearmanr
+
+from repro.errors import PowerModelError
+from repro.power import (
+    FDSolver,
+    PowerGridConfig,
+    compact_ir_cost,
+    normalized_compact_cost,
+    pad_gaps,
+    weighted_compact_cost,
+    worst_gap,
+)
+
+fraction_lists = st.lists(
+    st.floats(min_value=0.0, max_value=0.999), min_size=1, max_size=20
+)
+
+
+class TestPadGaps:
+    def test_gaps_sum_to_one(self):
+        gaps = pad_gaps([0.1, 0.5, 0.9])
+        assert sum(gaps) == pytest.approx(1.0)
+
+    def test_single_pad(self):
+        assert pad_gaps([0.3]) == [1.0]
+
+    def test_requires_pads(self):
+        with pytest.raises(PowerModelError):
+            pad_gaps([])
+
+    @given(fraction_lists)
+    def test_gaps_always_sum_to_one(self, fractions):
+        assert sum(pad_gaps(fractions)) == pytest.approx(1.0)
+
+
+class TestCompactCost:
+    def test_equidistant_is_minimal(self):
+        even = [i / 8 for i in range(8)]
+        assert compact_ir_cost(even) == pytest.approx(1 / 8)
+        rng = random.Random(0)
+        for __ in range(20):
+            jittered = [(f + rng.uniform(0, 0.1)) % 1.0 for f in even]
+            assert compact_ir_cost(jittered) >= compact_ir_cost(even) - 1e-12
+
+    def test_clustering_is_penalized(self):
+        clustered = [0.0, 0.01, 0.02, 0.03]
+        spread = [0.0, 0.25, 0.5, 0.75]
+        assert compact_ir_cost(clustered) > compact_ir_cost(spread)
+
+    def test_normalized_floor_is_one(self):
+        even = [i / 5 for i in range(5)]
+        assert normalized_compact_cost(even) == pytest.approx(1.0)
+
+    def test_worst_gap(self):
+        assert worst_gap([0.0, 0.5, 0.6]) == pytest.approx(0.5)
+
+    @given(fraction_lists)
+    def test_cost_bounds(self, fractions):
+        k = len(fractions)
+        cost = compact_ir_cost(fractions)
+        assert 1 / k - 1e-9 <= cost <= 1.0 + 1e-9
+
+    def test_rotation_invariance(self):
+        base = [0.05, 0.3, 0.7]
+        rotated = [(f + 0.4) % 1.0 for f in base]
+        assert compact_ir_cost(base) == pytest.approx(compact_ir_cost(rotated))
+
+
+class TestWeightedCompactCost:
+    def test_constant_demand_matches_unweighted(self):
+        fractions = [0.1, 0.4, 0.8]
+        weighted = weighted_compact_cost(fractions, lambda t: 1.0)
+        assert weighted == pytest.approx(compact_ir_cost(fractions))
+
+    def test_demand_pulls_cost_up_in_hot_gap(self):
+        fractions = [0.4, 0.6]  # big gap crossing t ~ 0 and a small one at 0.5
+        def hot_at_half(t):
+            return 10.0 if abs(t - 0.5) < 0.1 else 1.0
+        def hot_at_zero(t):
+            return 10.0 if (t < 0.1 or t > 0.9) else 1.0
+        assert weighted_compact_cost(fractions, hot_at_zero) > weighted_compact_cost(
+            fractions, hot_at_half
+        )
+
+    def test_requires_pads(self):
+        with pytest.raises(PowerModelError):
+            weighted_compact_cost([], lambda t: 1.0)
+
+
+class TestProxySolverCorrelation:
+    def test_rank_correlation_with_fd_solver(self):
+        """The proxy must rank random pad placements like the FD solver."""
+        config = PowerGridConfig(size=16)
+        solver = FDSolver(config)
+        rng = random.Random(1)
+        proxies, drops = [], []
+        for __ in range(25):
+            fractions = sorted(rng.random() for _ in range(6))
+            proxies.append(compact_ir_cost(fractions))
+            drops.append(solver.solve_fractions(fractions).max_drop)
+        rho, __ = spearmanr(proxies, drops)
+        assert rho > 0.6
+
+    def test_even_beats_random_on_solver(self):
+        config = PowerGridConfig(size=16)
+        solver = FDSolver(config)
+        even = [(i + 0.5) / 6 for i in range(6)]
+        rng = random.Random(2)
+        even_drop = solver.solve_fractions(even).max_drop
+        random_drops = [
+            solver.solve_fractions(sorted(rng.random() for _ in range(6))).max_drop
+            for __ in range(10)
+        ]
+        assert even_drop < sum(random_drops) / len(random_drops)

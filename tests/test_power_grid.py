@@ -1,0 +1,119 @@
+"""Tests for the power-grid model and the finite-difference solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power import FDSolver, PowerGridConfig
+
+
+class TestPowerGridConfig:
+    def test_validation(self):
+        with pytest.raises(PowerModelError):
+            PowerGridConfig(size=1)
+        with pytest.raises(PowerModelError):
+            PowerGridConfig(vdd=0)
+        with pytest.raises(PowerModelError):
+            PowerGridConfig(r_sx=0)
+        with pytest.raises(PowerModelError):
+            PowerGridConfig(j0=-1)
+
+    def test_boundary_ring_walks_once(self):
+        config = PowerGridConfig(size=4)
+        ring = config.boundary_ring()
+        assert len(ring) == len(set(ring)) == 12  # 4*(G-1)
+        # starts at bottom-left, walks the bottom edge first
+        assert ring[0] == (0, 0)
+        assert ring[1] == (1, 0)
+
+    def test_ring_node_fractions(self):
+        config = PowerGridConfig(size=8)
+        assert config.ring_node(0.0) == (0, 0)
+        # a quarter of the way round is the bottom-right corner region
+        x, y = config.ring_node(0.25)
+        assert x == config.size - 1
+        with pytest.raises(PowerModelError):
+            config.ring_node(1.5)
+
+
+class TestFDSolver:
+    def test_requires_pads(self):
+        with pytest.raises(PowerModelError):
+            FDSolver(PowerGridConfig(size=4)).solve([])
+
+    def test_pad_outside_grid_rejected(self):
+        with pytest.raises(PowerModelError):
+            FDSolver(PowerGridConfig(size=4)).solve([(9, 9)])
+
+    def test_pads_held_at_vdd(self):
+        config = PowerGridConfig(size=8, vdd=1.2)
+        result = FDSolver(config).solve([(0, 0)])
+        assert result.voltage[0, 0] == pytest.approx(1.2)
+        assert result.max_drop > 0
+
+    def test_zero_current_means_zero_drop(self):
+        config = PowerGridConfig(size=6, j0=0.0)
+        result = FDSolver(config).solve([(0, 0)])
+        assert result.max_drop == pytest.approx(0.0, abs=1e-12)
+
+    def test_drop_grows_with_current(self):
+        small = FDSolver(PowerGridConfig(size=8, j0=1e-5)).solve([(0, 0)])
+        large = FDSolver(PowerGridConfig(size=8, j0=2e-5)).solve([(0, 0)])
+        assert large.max_drop == pytest.approx(2 * small.max_drop, rel=1e-6)
+
+    def test_more_pads_reduce_drop(self):
+        config = PowerGridConfig(size=10)
+        ring = config.boundary_ring()
+        few = FDSolver(config).solve(ring[:1])
+        many = FDSolver(config).solve(ring[::4])
+        assert many.max_drop < few.max_drop
+
+    def test_worst_node_far_from_pad(self):
+        config = PowerGridConfig(size=9)
+        result = FDSolver(config).solve([(0, 0)])
+        x, y = result.worst_node()
+        assert x + y > config.size  # opposite corner region
+
+    def test_symmetry(self):
+        # pads at two opposite corners -> symmetric voltage map
+        config = PowerGridConfig(size=7)
+        result = FDSolver(config).solve([(0, 0), (6, 6)])
+        assert result.voltage[0, 6] == pytest.approx(result.voltage[6, 0], rel=1e-9)
+
+    def test_all_nodes_padded(self):
+        config = PowerGridConfig(size=3)
+        all_nodes = [(x, y) for x in range(3) for y in range(3)]
+        result = FDSolver(config).solve(all_nodes)
+        assert result.max_drop == pytest.approx(0.0)
+
+    def test_solve_fractions(self):
+        config = PowerGridConfig(size=8)
+        result = FDSolver(config).solve_fractions([0.0, 0.5])
+        assert len(result.pad_nodes) == 2
+
+    def test_mean_drop_below_max(self):
+        config = PowerGridConfig(size=10)
+        result = FDSolver(config).solve([(0, 0)])
+        assert 0 < result.mean_drop <= result.max_drop
+
+    def test_current_map_override(self):
+        config = PowerGridConfig(size=8, j0=1e-5)
+        uniform = FDSolver(config).solve([(0, 0)])
+        hot = np.full((8, 8), 1e-5)
+        hot[4:, 4:] *= 10
+        hotter = FDSolver(config, current_map=hot).solve([(0, 0)])
+        assert hotter.max_drop > uniform.max_drop
+
+    def test_current_map_shape_checked(self):
+        config = PowerGridConfig(size=8)
+        with pytest.raises(PowerModelError):
+            FDSolver(config, current_map=np.ones((4, 4)))
+        with pytest.raises(PowerModelError):
+            FDSolver(config, current_map=-np.ones((8, 8)))
+
+    def test_maximum_principle(self):
+        # voltage everywhere between min pad voltage and vdd
+        config = PowerGridConfig(size=12)
+        result = FDSolver(config).solve([(0, 0), (11, 11)])
+        assert result.voltage.max() <= config.vdd + 1e-12
+        assert (result.drop_map >= -1e-12).all()

@@ -1,0 +1,100 @@
+"""Tests for the pad-to-boundary-ring mapping and the IR-drop analyzer."""
+
+import pytest
+
+from repro.assign import DFAAssigner, RandomAssigner
+from repro.errors import PowerModelError
+from repro.package import NetType
+from repro.power import (
+    IRDropAnalyzer,
+    PowerGridConfig,
+    pad_nodes_for_grid,
+    supply_pad_fractions,
+)
+
+
+class TestSupplyPadFractions:
+    def test_fractions_in_unit_interval(self, small_design):
+        assignments = DFAAssigner().assign_design(small_design)
+        fractions = supply_pad_fractions(small_design, assignments)
+        assert fractions
+        assert all(0 <= f < 1 for f in fractions)
+
+    def test_both_networks_when_none(self, small_design):
+        assignments = DFAAssigner().assign_design(small_design)
+        power = supply_pad_fractions(small_design, assignments, net_type=NetType.POWER)
+        ground = supply_pad_fractions(
+            small_design, assignments, net_type=NetType.GROUND
+        )
+        both = supply_pad_fractions(small_design, assignments, net_type=None)
+        assert len(both) == len(power) + len(ground)
+
+    def test_missing_assignment_rejected(self, small_design):
+        with pytest.raises(PowerModelError):
+            supply_pad_fractions(small_design, {})
+
+    def test_moving_a_power_pad_moves_its_fraction(self, small_design):
+        assignments = DFAAssigner().assign_design(small_design)
+        before = sorted(
+            supply_pad_fractions(small_design, assignments, net_type=None)
+        )
+        # find a supply pad with a signal neighbour and displace it one slot
+        moved = False
+        for side in small_design.sides:
+            assignment = assignments[side]
+            quadrant = small_design.quadrants[side]
+            for supply_id in quadrant.supply_net_ids():
+                slot = assignment.slot_of(supply_id)
+                other = slot + 1 if slot < assignment.slot_count else slot - 1
+                # only count it if the neighbour is a signal net, otherwise
+                # swapping two supply pads leaves the fraction multiset intact
+                if quadrant.net(assignment.net_at(other)).net_type.is_supply:
+                    continue
+                assignment.swap_slots(min(slot, other), max(slot, other))
+                moved = True
+                break
+            if moved:
+                break
+        assert moved
+        after = sorted(
+            supply_pad_fractions(small_design, assignments, net_type=None)
+        )
+        assert before != after
+
+    def test_pad_nodes_on_boundary(self, small_design):
+        assignments = DFAAssigner().assign_design(small_design)
+        config = PowerGridConfig(size=16)
+        nodes = pad_nodes_for_grid(small_design, assignments, config)
+        g = config.size
+        for x, y in nodes:
+            assert x in (0, g - 1) or y in (0, g - 1)
+
+
+class TestIRDropAnalyzer:
+    def test_solve_and_max_drop(self, small_design):
+        assignments = DFAAssigner().assign_design(small_design)
+        analyzer = IRDropAnalyzer(small_design, PowerGridConfig(size=16))
+        result = analyzer.solve(assignments)
+        assert result.max_drop == analyzer.max_drop(assignments)
+        assert result.max_drop > 0
+
+    def test_compact_cost_positive(self, small_design):
+        assignments = DFAAssigner().assign_design(small_design)
+        analyzer = IRDropAnalyzer(small_design, PowerGridConfig(size=16))
+        assert analyzer.compact_cost(assignments) > 0
+
+    def test_improvement_sign(self, small_design):
+        analyzer = IRDropAnalyzer(small_design, PowerGridConfig(size=16))
+        a = RandomAssigner().assign_design(small_design, seed=0)
+        b = RandomAssigner().assign_design(small_design, seed=1)
+        improvement = analyzer.improvement(a, b)
+        assert improvement == pytest.approx(
+            1 - analyzer.max_drop(b) / analyzer.max_drop(a)
+        )
+
+    def test_pad_fractions_shortcut(self, small_design):
+        assignments = DFAAssigner().assign_design(small_design)
+        analyzer = IRDropAnalyzer(small_design, PowerGridConfig(size=16))
+        assert analyzer.pad_fractions(assignments) == supply_pad_fractions(
+            small_design, assignments, net_type=NetType.POWER
+        )

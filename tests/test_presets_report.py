@@ -1,0 +1,45 @@
+"""Tests for presets and the one-shot report generator."""
+
+import pytest
+
+from repro.assign import DFAAssigner
+from repro.exchange import FingerPadExchanger
+from repro.flow import generate_report
+from repro.presets import FAST, PAPER, PRESETS, THOROUGH, get_preset
+
+
+class TestPresets:
+    def test_registry(self):
+        assert set(PRESETS) == {"fast", "paper", "thorough"}
+        assert get_preset("paper") is PAPER
+        with pytest.raises(KeyError):
+            get_preset("nope")
+
+    def test_schedules_ordered_by_effort(self):
+        assert FAST.params.total_moves() < PAPER.params.total_moves()
+        assert PAPER.params.total_moves() < THOROUGH.params.total_moves()
+
+    def test_make_exchanger(self, small_design):
+        exchanger = FAST.make_exchanger(small_design)
+        assert isinstance(exchanger, FingerPadExchanger)
+        initial = DFAAssigner().assign_design(small_design)
+        result = exchanger.run(initial, seed=1)
+        assert result.stats.best_cost <= result.stats.initial_cost + 1e-9
+
+    def test_overrides(self, small_design):
+        exchanger = FAST.make_exchanger(small_design, polish_passes=0)
+        assert exchanger.polish_passes == 0
+
+
+class TestReport:
+    def test_quick_report(self, tmp_path):
+        path = tmp_path / "REPORT.md"
+        text = generate_report(
+            path, include_table3=False, include_fig6=False
+        )
+        assert path.exists()
+        assert "# Reproduction report" in text
+        assert "Table 1" in text and "Table 2" in text
+        assert "Fig. 5" in text and "Fig. 13" in text
+        # the exact worked examples are inside
+        assert "[10, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]" in text

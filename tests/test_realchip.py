@@ -1,0 +1,120 @@
+"""Tests for the Fig.-6 real-chip substitute."""
+
+import numpy as np
+import pytest
+
+from repro.assign import is_legal
+from repro.circuits import (
+    REALCHIP_SPEC,
+    boundary_demand,
+    build_realchip,
+    drop_map_demand,
+    hotspot_current_map,
+    optimized_plan,
+    random_plan,
+    realchip_grid_config,
+    regular_plan,
+)
+from repro.circuits.realchip import fd_descent_plan
+from repro.assign import DFAAssigner
+from repro.exchange import SAParams
+from repro.power import FDSolver
+from repro.power.pads import pad_nodes_for_grid
+
+FAST_SA = SAParams(initial_temp=0.03, final_temp=1e-3, cooling=0.9, moves_per_temp=60)
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return build_realchip(seed=2009)
+
+
+@pytest.fixture(scope="module")
+def solver():
+    config = realchip_grid_config(size=20)
+    return config, FDSolver(config, current_map=hotspot_current_map(config))
+
+
+class TestSetup:
+    def test_spec(self):
+        assert REALCHIP_SPEC.finger_count == 138
+
+    def test_hotspot_map(self):
+        config = realchip_grid_config(size=20)
+        current = hotspot_current_map(config)
+        assert current.shape == (20, 20)
+        assert current.max() > current.min()
+        # hot block near the top-right corner
+        assert current[18, 18] > current[2, 2]
+
+    def test_boundary_demand_peaks_at_corner(self):
+        # ring fraction 0.5 is the top-right corner
+        assert boundary_demand(0.5) > boundary_demand(0.0)
+        assert boundary_demand(0.5) > boundary_demand(0.25)
+
+
+class TestPlans:
+    def test_all_plans_legal(self, chip):
+        for plan in (
+            random_plan(chip, seed=1),
+            regular_plan(chip),
+            optimized_plan(chip, seed=1, params=FAST_SA),
+        ):
+            for assignment in plan.values():
+                assert is_legal(assignment)
+
+    def test_regular_spreads_better_than_random(self, chip):
+        from repro.power import compact_ir_cost
+        from repro.power.pads import supply_pad_fractions
+
+        random_cost = compact_ir_cost(
+            supply_pad_fractions(chip, random_plan(chip, seed=1), net_type=None)
+        )
+        regular_cost = compact_ir_cost(
+            supply_pad_fractions(chip, regular_plan(chip), net_type=None)
+        )
+        assert regular_cost <= random_cost
+
+    def test_drop_map_demand_is_positive(self, chip, solver):
+        config, fd = solver
+        plan = DFAAssigner().assign_design(chip)
+        demand = drop_map_demand(chip, plan, config, fd)
+        values = [demand(t / 10) for t in range(10)]
+        assert all(v > 0 for v in values)
+        assert max(values) > min(values)
+
+    def test_fd_descent_never_hurts(self, chip, solver):
+        config, fd = solver
+        plan = DFAAssigner().assign_design(chip)
+
+        def drop(assignments):
+            nodes = pad_nodes_for_grid(chip, assignments, config, net_type=None)
+            return fd.solve(nodes).max_drop
+
+        before = drop(plan)
+        refined = fd_descent_plan(chip, plan, config, fd, passes=2)
+        assert drop(refined) <= before + 1e-12
+        for assignment in refined.values():
+            assert is_legal(assignment)
+
+
+class TestFig6Shape:
+    def test_ordering_on_small_grid(self, chip, solver):
+        """random >= regular >= optimized on the solved max drop."""
+        config, fd = solver
+
+        def drop(assignments):
+            nodes = pad_nodes_for_grid(chip, assignments, config, net_type=None)
+            return fd.solve(nodes).max_drop
+
+        a = drop(random_plan(chip, seed=2009))
+        b = drop(regular_plan(chip))
+        initial = DFAAssigner().assign_design(chip)
+        demand = drop_map_demand(chip, initial, config, fd)
+        proxy_plan = optimized_plan(chip, seed=2009, params=FAST_SA, demand=demand)
+        c = drop(fd_descent_plan(chip, proxy_plan, config, fd, passes=3))
+        # on this deliberately small grid the B/C margin is noise-level,
+        # so allow a sliver of slack on each comparison
+        assert c <= b * 1.02
+        assert b <= a * 1.02
+        assert c <= a

@@ -1,0 +1,74 @@
+"""Detailed tests for the paper-style report rendering."""
+
+import pytest
+
+from repro.flow import (
+    render_fig6,
+    render_irdrop_mv,
+    render_table1,
+    render_table2,
+)
+from repro.flow.compare import AssignerRun, ComparisonTable
+
+
+def make_table():
+    table = ComparisonTable(baseline="Random")
+    for circuit, densities, lengths in (
+        ("c1", (10, 6, 4), (100.0, 90.0, 80.0)),
+        ("c2", (20, 10, 5), (200.0, 160.0, 150.0)),
+    ):
+        for name, density, length in zip(("Random", "IFA", "DFA"), densities, lengths):
+            table.runs.append(
+                AssignerRun(
+                    circuit=circuit,
+                    assigner=name,
+                    max_density=density,
+                    wirelength=length,
+                )
+            )
+    return table
+
+
+class TestComparisonTableMath:
+    def test_average_density_ratio_by_hand(self):
+        table = make_table()
+        # c1: 6/10, c2: 10/20 -> mean 0.55
+        assert table.average_density_ratio("IFA") == pytest.approx(0.55)
+        # c1: 4/10, c2: 5/20 -> mean 0.325
+        assert table.average_density_ratio("DFA") == pytest.approx(0.325)
+        assert table.average_density_ratio("Random") == pytest.approx(1.0)
+
+    def test_average_wirelength_ratio_by_hand(self):
+        table = make_table()
+        # c1: 90/100, c2: 160/200 -> mean 0.85
+        assert table.average_wirelength_ratio("IFA") == pytest.approx(0.85)
+
+    def test_orderings(self):
+        table = make_table()
+        assert table.circuits() == ["c1", "c2"]
+        assert table.assigners() == ["Random", "IFA", "DFA"]
+
+
+class TestRendering:
+    def test_table1_columns_aligned(self):
+        lines = render_table1().splitlines()
+        header, divider = lines[0], lines[1]
+        assert len(divider) == len(header.rstrip()) or len(divider) <= len(header)
+        assert all(len(line) <= len(header) + 2 for line in lines)
+
+    def test_table2_contains_averages(self):
+        text = render_table2(make_table())
+        assert "0.55" in text  # IFA density ratio
+        assert "0.33" in text  # DFA density ratio (rounded)
+        assert text.count("\n") >= 4
+
+    def test_fig6_render(self):
+        from repro.circuits import Fig6Result
+
+        text = render_fig6(
+            Fig6Result(random_mv=117.3, regular_mv=98.7, optimized_mv=95.4)
+        )
+        assert "117.3" in text and "117.4" in text  # measured and paper
+
+    def test_irdrop_mv_format(self):
+        assert render_irdrop_mv(0.1174) == "117.4 mV"

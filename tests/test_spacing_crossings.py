@@ -1,0 +1,104 @@
+"""Tests for realized wire spacing and bonding-wire crossing counts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign import Assignment, DFAAssigner, RandomAssigner
+from repro.circuits import FIG5_RANDOM_ORDER, fig5_quadrant
+from repro.package import bonding_wire_crossings, quadrant_from_rows
+from repro.routing import MonotonicRouter, measure_spacing
+
+
+class TestSpacing:
+    def test_fig5_spacing_positive(self):
+        quadrant = fig5_quadrant()
+        assignment = DFAAssigner().assign(quadrant)
+        report = measure_spacing(MonotonicRouter().route(assignment), quadrant)
+        assert report.min_spacing > 0
+        assert set(report.per_line) == {2, 3}
+        assert report.tightest_line in (2, 3)
+
+    def test_congested_order_is_tighter(self):
+        """The random order's crowded runs squeeze wires closer together."""
+        quadrant = fig5_quadrant()
+        router = MonotonicRouter()
+        random_report = measure_spacing(
+            router.route(Assignment(quadrant, FIG5_RANDOM_ORDER)), quadrant
+        )
+        dfa_report = measure_spacing(
+            router.route(DFAAssigner().assign(quadrant)), quadrant
+        )
+        assert random_report.min_spacing < dfa_report.min_spacing
+
+    def test_violations_api(self):
+        quadrant = fig5_quadrant()
+        assignment = DFAAssigner().assign(quadrant)
+        report = measure_spacing(MonotonicRouter().route(assignment), quadrant)
+        assert report.is_clean(min_pitch=report.min_spacing)
+        assert not report.is_clean(min_pitch=report.min_spacing * 2)
+        assert report.violations(report.min_spacing * 2)
+
+    def test_single_row_no_lines(self):
+        quadrant = quadrant_from_rows([[0, 1, 2]])
+        assignment = Assignment(quadrant, [0, 1, 2])
+        report = measure_spacing(MonotonicRouter().route(assignment), quadrant)
+        assert report.min_spacing is None
+        assert report.is_clean(1.0)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_spacing_always_positive(self, seed):
+        """Order preservation means wires never coincide on a line."""
+        quadrant = fig5_quadrant()
+        assignment = RandomAssigner().assign(quadrant, seed=seed)
+        report = measure_spacing(MonotonicRouter().route(assignment), quadrant)
+        assert report.min_spacing is None or report.min_spacing > 0
+
+
+class TestBondingCrossings:
+    def test_perfect_interleave_has_none(self):
+        assert bonding_wire_crossings([1, 2, 1, 2, 1, 2]) == 0
+
+    def test_banked_order_crosses(self):
+        assert bonding_wire_crossings([1, 1, 1, 2, 2, 2]) > 0
+
+    def test_trivial_inputs(self):
+        assert bonding_wire_crossings([]) == 0
+        assert bonding_wire_crossings([1]) == 0
+        assert bonding_wire_crossings([1, 1]) == 0
+
+    def test_single_tier_never_crosses(self):
+        assert bonding_wire_crossings([1] * 20) == 0
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=3), min_size=2, max_size=24)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_quadratic_oracle(self, tiers):
+        """Fenwick inversion count vs brute force."""
+        n = len(tiers)
+        per_tier = {}
+        for slot, tier in enumerate(tiers):
+            per_tier.setdefault(tier, []).append(slot)
+        span = float(n - 1)
+        pad_x = [0.0] * n
+        for tier, slots in per_tier.items():
+            count = len(slots)
+            for index, slot in enumerate(slots):
+                pad_x[slot] = span / 2.0 if count == 1 else span * index / (count - 1)
+        # ties in pad_x follow finger order (stable), so only strict
+        # inversions count
+        expected = sum(
+            1 for a in range(n) for b in range(a + 1, n) if pad_x[a] > pad_x[b]
+        )
+        assert bonding_wire_crossings(tiers) == expected
+
+    def test_omega_and_crossings_agree(self):
+        """Lower omega orders also cross less (same Fig.-4 intuition)."""
+        from repro.exchange import omega
+
+        interleaved = [1, 2, 3, 1, 2, 3, 1, 2, 3]
+        banked = [1, 1, 1, 2, 2, 2, 3, 3, 3]
+        assert omega(interleaved, 3) <= omega(banked, 3)
+        assert bonding_wire_crossings(interleaved) <= bonding_wire_crossings(banked)

@@ -1,0 +1,57 @@
+"""At-scale invariants: one 1792-finger design through the fast pipeline.
+
+Four times the paper's largest circuit.  No SA here (that is benchmarked);
+this guards the O(n log n) paths — generation, assignment, density,
+routing, spacing — against quadratic blow-ups and invariant drift at size.
+"""
+
+import time
+
+import pytest
+
+from repro.assign import DFAAssigner, IFAAssigner, RandomAssigner, is_legal
+from repro.circuits import CircuitSpec, build_design
+from repro.package import check_design
+from repro.routing import (
+    MonotonicRouter,
+    max_density,
+    max_density_of_design,
+    measure_spacing,
+)
+
+
+@pytest.fixture(scope="module")
+def big_design():
+    return build_design(CircuitSpec(name="big", finger_count=1792), seed=0)
+
+
+class TestAtScale:
+    def test_generation(self, big_design):
+        assert big_design.total_net_count == 1792
+        assert check_design(big_design).is_clean
+
+    def test_assignment_speed_and_legality(self, big_design):
+        start = time.perf_counter()
+        assignments = DFAAssigner().assign_design(big_design)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0  # seconds; the Fenwick path keeps this trivial
+        for assignment in assignments.values():
+            assert is_legal(assignment)
+
+    def test_density_stays_at_floor(self, big_design):
+        dfa = DFAAssigner().assign_design(big_design)
+        ifa = IFAAssigner().assign_design(big_design)
+        random_assignments = RandomAssigner().assign_design(big_design, seed=0)
+        assert max_density_of_design(dfa) <= 6
+        assert max_density_of_design(ifa) <= 8
+        assert max_density_of_design(random_assignments) > max_density_of_design(dfa)
+
+    def test_router_matches_estimate_at_scale(self, big_design):
+        side = big_design.sides[0]
+        quadrant = big_design.quadrants[side]
+        assignment = DFAAssigner().assign(quadrant)
+        result = MonotonicRouter().route(assignment)
+        assert result.max_density == max_density(assignment)
+        assert len(result.nets) == quadrant.net_count
+        report = measure_spacing(result, quadrant)
+        assert report.min_spacing > 0

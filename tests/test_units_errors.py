@@ -1,0 +1,40 @@
+"""Tests for unit helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import errors, units
+
+
+class TestUnits:
+    def test_conversions(self):
+        assert units.mm(1.5) == 1500.0
+        assert units.um(3) == 3.0
+        assert units.mv(117.4) == pytest.approx(0.1174)
+        assert units.to_mv(0.0552) == pytest.approx(55.2)
+
+    def test_formatting(self):
+        assert units.fmt_mv(0.1174) == "117.4 mV"
+        assert units.fmt_um(42844.0) == "42844.00 um"
+        assert units.fmt_pct(0.1061) == "10.61%"
+        assert units.fmt_pct(0.6400, digits=0) == "64%"
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for name in (
+            "GeometryError",
+            "PackageModelError",
+            "AssignmentError",
+            "LegalityError",
+            "RoutingError",
+            "PowerModelError",
+            "ExchangeError",
+            "CircuitSpecError",
+            "SerializationError",
+        ):
+            error_type = getattr(errors, name)
+            assert issubclass(error_type, errors.ReproError)
+
+    def test_single_catch(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.LegalityError("nope")

@@ -1,0 +1,108 @@
+"""Tests for the [10]-style via optimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign import Assignment, DFAAssigner, RandomAssigner
+from repro.circuits import FIG5_RANDOM_ORDER, fig5_quadrant
+from repro.errors import RoutingError
+from repro.package import quadrant_from_rows
+from repro.routing import max_density
+from repro.routing.via_opt import ViaAssignment, ViaOptimizer
+
+
+class TestBottomLeftEquivalence:
+    """With vias at j-1, the generalized model equals the fixed-via one."""
+
+    def test_fig5_random(self):
+        quadrant = fig5_quadrant()
+        assignment = Assignment(quadrant, FIG5_RANDOM_ORDER)
+        vias = ViaAssignment(assignment)
+        density = vias.density()
+        assert density.max_layer1 == max_density(assignment) == 4
+        # bottom-left vias sit right next to their balls: no layer-2 track
+        assert density.max_layer2 <= 1
+
+    def test_fig5_dfa(self):
+        quadrant = fig5_quadrant()
+        assignment = DFAAssigner().assign(quadrant)
+        assert ViaAssignment(assignment).density().max_layer1 == 2
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_equivalence_on_random_orders(self, seed):
+        quadrant = fig5_quadrant()
+        assignment = RandomAssigner().assign(quadrant, seed=seed)
+        assert ViaAssignment(assignment).density().max_layer1 == max_density(
+            assignment
+        )
+
+
+class TestValidation:
+    def test_order_violation_detected(self):
+        quadrant = fig5_quadrant()
+        assignment = Assignment(quadrant, FIG5_RANDOM_ORDER)
+        vias = ViaAssignment(assignment)
+        vias.candidates[3] = [2, 1, 0]  # inverted order
+        with pytest.raises(RoutingError):
+            vias.validate()
+
+    def test_capacity_violation_detected(self):
+        quadrant = fig5_quadrant()
+        vias = ViaAssignment(Assignment(quadrant, FIG5_RANDOM_ORDER))
+        vias.candidates[3] = [0, 0, 1]
+        with pytest.raises(RoutingError):
+            vias.validate()
+
+    def test_range_violation_detected(self):
+        quadrant = fig5_quadrant()
+        vias = ViaAssignment(Assignment(quadrant, FIG5_RANDOM_ORDER))
+        vias.candidates[3] = [0, 1, 99]
+        with pytest.raises(RoutingError):
+            vias.validate()
+
+
+class TestOptimizer:
+    def test_never_worse(self):
+        quadrant = fig5_quadrant()
+        for seed in range(8):
+            assignment = RandomAssigner().assign(quadrant, seed=seed)
+            result = ViaOptimizer().optimize(assignment)
+            assert result.density_after <= result.density_before
+            result.vias.validate()
+
+    def test_finds_an_improvement_somewhere(self):
+        """Across a batch of random orders the optimizer helps at least once."""
+        quadrant = quadrant_from_rows(
+            [
+                list(range(0, 9)),
+                list(range(9, 16)),
+                list(range(16, 21)),
+                list(range(21, 24)),
+            ]
+        )
+        improvements = []
+        for seed in range(10):
+            assignment = RandomAssigner().assign(quadrant, seed=seed)
+            result = ViaOptimizer().optimize(assignment)
+            improvements.append(result.improvement)
+        assert any(delta > 0 for delta in improvements)
+
+    def test_layer2_cost_bounds_migration(self):
+        """Vias cannot all pile far from their balls: layer 2 pushes back."""
+        quadrant = fig5_quadrant()
+        assignment = Assignment(quadrant, FIG5_RANDOM_ORDER)
+        result = ViaOptimizer().optimize(assignment)
+        density = result.vias.density()
+        assert density.max_layer2 <= max(1, density.max_layer1)
+
+    def test_invalid_passes(self):
+        with pytest.raises(RoutingError):
+            ViaOptimizer(max_passes=0)
+
+    def test_candidate_of(self):
+        quadrant = fig5_quadrant()
+        vias = ViaAssignment(Assignment(quadrant, FIG5_RANDOM_ORDER))
+        assert vias.candidate_of(11) == 0  # first ball of row 3
+        assert vias.candidate_of(9) == 2

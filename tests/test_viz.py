@@ -1,0 +1,63 @@
+"""Tests for the ASCII visualization helpers."""
+
+import numpy as np
+
+from repro.assign import DFAAssigner, RandomAssigner
+from repro.circuits import hotspot_current_map, realchip_grid_config
+from repro.power import FDSolver, PowerGridConfig
+from repro.viz import (
+    render_assignment,
+    render_comparison,
+    render_current_map,
+    render_density_profile,
+    render_irdrop_map,
+)
+
+
+class TestAsciiArt:
+    def test_render_assignment(self, fig5):
+        text = render_assignment(DFAAssigner().assign(fig5))
+        assert "fingers:" in text
+        assert "row  3" in text
+        # every net id appears
+        for net in fig5.netlist:
+            assert str(net.id) in text
+
+    def test_density_profile(self, fig5):
+        text = render_density_profile(DFAAssigner().assign(fig5))
+        assert "max density: 2" in text
+        assert "line y= 3" in text
+
+    def test_single_row_profile(self):
+        from repro.package import quadrant_from_rows
+
+        quadrant = quadrant_from_rows([[1, 2, 3]])
+        from repro.assign import Assignment
+
+        text = render_density_profile(Assignment(quadrant, [1, 2, 3]))
+        assert "no crossing congestion" in text
+
+    def test_comparison(self, fig5):
+        text = render_comparison(
+            {
+                "DFA": DFAAssigner().assign(fig5),
+                "Random": RandomAssigner().assign(fig5, seed=0),
+            }
+        )
+        assert "== DFA ==" in text and "== Random ==" in text
+
+
+class TestHeatMaps:
+    def test_irdrop_map(self):
+        config = PowerGridConfig(size=16)
+        result = FDSolver(config).solve([(0, 0)])
+        text = render_irdrop_map(result)
+        assert "max IR-drop" in text
+        assert len(text.splitlines()) == 17  # header + 16 rows
+
+    def test_current_map(self):
+        config = realchip_grid_config(size=16)
+        text = render_current_map(hotspot_current_map(config))
+        assert "current map" in text
+        # hot block shading appears (darkest glyph)
+        assert "@" in text
