@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench bench-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,13 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Tiny engine shakedown (<30 s): two short codesign jobs through the
+# process pool, no cache, telemetry trace into results/.
+bench-smoke:
+	@mkdir -p results
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro run smoke \
+		--jobs 2 --no-cache --trace results/smoke_trace.jsonl
 
 report:
 	python -m repro report --output results/REPORT.md

@@ -8,20 +8,30 @@ ordering random > regular > optimized reproduces; the regular-vs-optimized
 margin is structurally smaller on a uniform-sheet grid (EXPERIMENTS.md).
 """
 
+import os
+
 from repro.circuits import (
     build_realchip,
     hotspot_current_map,
     random_plan,
     realchip_grid_config,
-    run_fig6,
 )
 from repro.power import FDSolver
 from repro.power.pads import pad_nodes_for_grid
+from repro.runtime import JobEngine
+from repro.runtime.workloads import fig6_result, fig6_specs
 from repro.viz import render_irdrop_map
+
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def run_fig6_engine():
+    engine = JobEngine(jobs=BENCH_JOBS)
+    return fig6_result(engine.run(fig6_specs(seed=2009)))
 
 
 def test_fig6(benchmark, record_result):
-    result = benchmark.pedantic(lambda: run_fig6(seed=2009), rounds=1, iterations=1)
+    result = benchmark.pedantic(run_fig6_engine, rounds=1, iterations=1)
 
     assert result.optimized_mv <= result.regular_mv <= result.random_mv
 

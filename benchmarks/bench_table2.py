@@ -7,24 +7,27 @@ values differ because the industrial netlists are not published (see
 DESIGN.md, "Substitutions").
 """
 
-import pytest
+import os
 
-from repro.circuits import build_table1_designs
-from repro.flow import compare_assigners, render_table2
+from repro.flow import render_table2
+from repro.runtime import JobEngine
+from repro.runtime.workloads import table2_specs, table2_table
 
 PAPER_AVG_DENSITY_RATIO = {"IFA": 0.63, "DFA": 0.36}
 PAPER_AVG_WIRELENGTH_RATIO = {"IFA": 0.88, "DFA": 0.82}
 
+#: Worker processes for the engine-backed benches (serial by default so the
+#: benchmark numbers measure the algorithms, not the pool).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
-@pytest.fixture(scope="module")
-def designs():
-    return build_table1_designs()
+
+def run_table2():
+    engine = JobEngine(jobs=BENCH_JOBS)
+    return table2_table(engine.run(table2_specs(seed=42)))
 
 
-def test_table2(benchmark, designs, record_result):
-    table = benchmark.pedantic(
-        lambda: compare_assigners(designs, seed=42), rounds=1, iterations=1
-    )
+def test_table2(benchmark, record_result):
+    table = benchmark.pedantic(run_table2, rounds=1, iterations=1)
 
     # shape: DFA <= IFA <= Random on every circuit
     for circuit in table.circuits():

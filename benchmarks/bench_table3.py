@@ -7,29 +7,25 @@ a deliberate trade.  We reproduce the signs and rough magnitudes; see
 EXPERIMENTS.md for the per-cell comparison.
 """
 
-import pytest
+import os
 
-from repro.circuits import build_design, table1_circuit
-from repro.exchange import SAParams
-from repro.flow import CoDesignFlow, render_table3
-from repro.power import PowerGridConfig
+from repro.flow import render_table3
+from repro.runtime import JobEngine
+from repro.runtime.workloads import table3_results, table3_specs
 
-SA = SAParams(initial_temp=0.03, final_temp=1e-4, cooling=0.95, moves_per_temp=150)
-GRID = PowerGridConfig(size=32)
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
-def run_all(tier_count):
-    flow = CoDesignFlow(sa_params=SA, grid_config=GRID)
-    results = {}
-    for index in range(1, 6):
-        design = build_design(table1_circuit(index, tier_count=tier_count), seed=0)
-        results[design.name] = flow.run(design, seed=7)
-    return results
+def run_all():
+    # The codesign job's SA defaults are the paper schedule (0.03 -> 1e-4,
+    # cooling 0.95, 150 moves/temp) on a 32x32 grid, as before.
+    engine = JobEngine(jobs=BENCH_JOBS)
+    return table3_results(engine.run(table3_specs(seed=7, grid=32)))
 
 
 def test_table3(benchmark, record_result):
     results_2d, results_stacked = benchmark.pedantic(
-        lambda: (run_all(1), run_all(4)), rounds=1, iterations=1
+        run_all, rounds=1, iterations=1
     )
 
     text = render_table3(results_2d, results_stacked)

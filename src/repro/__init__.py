@@ -25,7 +25,17 @@ Public API overview
     Two-step co-design flow, assigner comparison, paper-style reports.
 """
 
-from . import assign, circuits, exchange, flow, geometry, package, power, routing
+from . import (
+    assign,
+    circuits,
+    exchange,
+    flow,
+    geometry,
+    package,
+    power,
+    routing,
+    runtime,
+)
 from .assign import Assignment, DFAAssigner, IFAAssigner, RandomAssigner
 from .exchange import CostWeights, FingerPadExchanger, SAParams
 from .flow import CoDesignFlow, compare_assigners

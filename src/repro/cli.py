@@ -2,6 +2,7 @@
 
 Commands
 --------
+``run <workload>``      run a workload on the job engine (parallel + cached)
 ``table1``              print the test-circuit parameter table
 ``table2``              run the Random/IFA/DFA comparison (Table 2)
 ``table3``              run the exchange experiment (Table 3; slower)
@@ -9,6 +10,10 @@ Commands
 ``assign <design.json>``   assign a JSON design and print the result
 ``route <design.json>``    assign + route, optionally exporting an SVG
 ``drc <design.json>``      design-rule check a JSON design
+
+``table2``/``table3``/``fig6`` accept ``--jobs N`` to fan their independent
+jobs out over worker processes; ``run`` adds the result cache and a JSONL
+telemetry trace on top (see docs/runtime.md).
 """
 
 from __future__ import annotations
@@ -26,7 +31,81 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+def _run_workload(
+    name: str,
+    seed=None,
+    grid=None,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    trace=None,
+    timeout=None,
+    retries: int = 1,
+) -> int:
+    """Execute one named workload on the job engine and print its table."""
+    from .runtime import JobEngine, JsonlSink, ResultCache, Telemetry
+    from .runtime.workloads import WORKLOADS
+
+    workload = WORKLOADS[name]
+    seed = workload.default_seed if seed is None else seed
+    grid = workload.default_grid if grid is None else grid
+    specs = workload.build(seed, grid)
+    sink = JsonlSink(trace) if trace else None
+    telemetry = Telemetry(sink=sink)
+    try:
+        cache = ResultCache(cache_dir) if use_cache else None
+        engine = JobEngine(
+            jobs=jobs,
+            cache=cache,
+            telemetry=telemetry,
+            timeout=timeout,
+            retries=retries,
+        )
+        print(
+            f"running {len(specs)} {name} job(s) "
+            f"(jobs={jobs}, seed={seed}, cache={'on' if cache else 'off'})...",
+            file=sys.stderr,
+        )
+        outcomes = engine.run(specs)
+        failures = [outcome for outcome in outcomes if not outcome.ok]
+        if failures:
+            for outcome in failures:
+                print(f"FAILED {outcome.spec.label()}: {outcome.error}", file=sys.stderr)
+            return 1
+        print(workload.render(outcomes))
+        counters = telemetry.snapshot()
+        end = telemetry.events_named("engine.end")[-1]
+        summary = (
+            f"done in {end['seconds']:.2f}s: {len(specs)} jobs, "
+            f"{int(counters.get('cache.hits', 0))} cache hit(s), "
+            f"{int(counters.get('cache.misses', 0))} miss(es)"
+        )
+        if trace:
+            summary += f"; trace written to {trace}"
+        print(summary, file=sys.stderr)
+        return 0
+    finally:
+        if sink is not None:
+            sink.close()
+
+
+def _cmd_run(args) -> int:
+    return _run_workload(
+        args.workload,
+        seed=args.seed,
+        grid=args.grid,
+        jobs=args.jobs,
+        use_cache=args.cache,
+        cache_dir=args.cache_dir,
+        trace=args.trace,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+
+
 def _cmd_table2(args) -> int:
+    if args.jobs > 1:
+        return _run_workload("table2", seed=args.seed, jobs=args.jobs)
     from .circuits import build_table1_designs
 
     table = compare_assigners(build_table1_designs(), seed=args.seed)
@@ -35,6 +114,8 @@ def _cmd_table2(args) -> int:
 
 
 def _cmd_table3(args) -> int:
+    if args.jobs > 1:
+        return _run_workload("table3", seed=args.seed, grid=args.grid, jobs=args.jobs)
     from .circuits import build_design, table1_circuit
     from .flow import CoDesignFlow, render_table3
     from .power import PowerGridConfig
@@ -53,6 +134,8 @@ def _cmd_table3(args) -> int:
 
 
 def _cmd_fig6(args) -> int:
+    if args.jobs > 1:
+        return _run_workload("fig6", seed=args.seed, jobs=args.jobs)
     from .circuits import run_fig6
     from .flow import render_fig6
 
@@ -146,6 +229,13 @@ def _cmd_drc(args) -> int:
     return 0 if report.is_clean else 1
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -155,17 +245,59 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("table1", help="print Table 1").set_defaults(func=_cmd_table1)
 
+    from .runtime.workloads import WORKLOADS
+
+    prun = sub.add_parser(
+        "run", help="run a workload on the job engine (parallel + cached)"
+    )
+    prun.add_argument(
+        "workload",
+        nargs="?",
+        default="table2",
+        choices=sorted(WORKLOADS),
+        help="evaluation target (default: table2)",
+    )
+    prun.add_argument(
+        "--jobs", type=_positive_int, default=1, help="worker processes"
+    )
+    prun.add_argument(
+        "--seed", type=int, default=None, help="base seed (workload default if omitted)"
+    )
+    prun.add_argument(
+        "--grid", type=int, default=None, help="power grid size (workload default)"
+    )
+    prun.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve/store results in the digest-keyed disk cache",
+    )
+    prun.add_argument(
+        "--cache-dir", default=None, help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)"
+    )
+    prun.add_argument("--trace", default=None, help="write a JSONL telemetry trace here")
+    prun.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+    prun.add_argument(
+        "--retries", type=int, default=1, help="retry attempts for failing jobs"
+    )
+    prun.set_defaults(func=_cmd_run)
+
     p2 = sub.add_parser("table2", help="run the Table-2 comparison")
     p2.add_argument("--seed", type=int, default=42)
+    p2.add_argument("--jobs", type=_positive_int, default=1, help="worker processes")
     p2.set_defaults(func=_cmd_table2)
 
     p3 = sub.add_parser("table3", help="run the Table-3 exchange experiment")
     p3.add_argument("--seed", type=int, default=7)
     p3.add_argument("--grid", type=int, default=32, help="power grid size")
+    p3.add_argument("--jobs", type=_positive_int, default=1, help="worker processes")
     p3.set_defaults(func=_cmd_table3)
 
     p6 = sub.add_parser("fig6", help="run the Fig.-6 real-chip comparison")
     p6.add_argument("--seed", type=int, default=2009)
+    p6.add_argument("--jobs", type=_positive_int, default=1, help="worker processes")
     p6.set_defaults(func=_cmd_fig6)
 
     pa = sub.add_parser("assign", help="assign a JSON design")

@@ -103,6 +103,9 @@ class SimulatedAnnealer:
         seed: Optional[int] = None,
         snapshot: Optional[Callable] = None,
     ) -> SAStats:
+        from ..runtime.telemetry import get_telemetry
+
+        telemetry = get_telemetry()
         rng = random.Random(seed)
         params = self.params
         stats = SAStats()
@@ -110,11 +113,20 @@ class SimulatedAnnealer:
         stats.initial_cost = current_cost
         stats.best_cost = current_cost
         best_snapshot = snapshot() if snapshot else None
+        telemetry.emit(
+            "sa.begin",
+            initial_cost=current_cost,
+            initial_temp=params.initial_temp,
+            steps=params.temperature_steps(),
+            moves_per_temp=params.moves_per_temp,
+        )
 
         temperature = params.initial_temp
         while temperature > params.final_temp:
+            step_proposed = step_accepted = 0
             for __ in range(params.moves_per_temp):
                 stats.proposed += 1
+                step_proposed += 1
                 move = propose(rng)
                 if move is None:
                     stats.infeasible += 1
@@ -125,6 +137,7 @@ class SimulatedAnnealer:
                 if delta <= 0 or rng.random() < math.exp(-delta / temperature):
                     current_cost = new_cost
                     stats.accepted += 1
+                    step_accepted += 1
                     if delta > 0:
                         stats.accepted_uphill += 1
                     if current_cost < stats.best_cost:
@@ -134,8 +147,24 @@ class SimulatedAnnealer:
                 else:
                     undo(move)
             stats.cost_trace.append(current_cost)
+            if telemetry.enabled:
+                telemetry.emit(
+                    "sa.step",
+                    temperature=round(temperature, 8),
+                    cost=current_cost,
+                    acceptance=step_accepted / step_proposed if step_proposed else 0.0,
+                )
             temperature *= params.cooling
 
         stats.final_cost = current_cost
         stats.best_snapshot = best_snapshot
+        telemetry.emit(
+            "sa.end",
+            final_cost=stats.final_cost,
+            best_cost=stats.best_cost,
+            proposed=stats.proposed,
+            accepted=stats.accepted,
+            accepted_uphill=stats.accepted_uphill,
+            acceptance_ratio=stats.acceptance_ratio,
+        )
         return stats

@@ -3,7 +3,13 @@
 from .codesign import CoDesignFlow, CoDesignResult
 from .compare import AssignerRun, ComparisonTable, compare_assigners
 from .full_report import generate_report
-from .experiments import SeedSweep, Statistic, codesign_experiment, sweep_seeds
+from .experiments import (
+    SeedSweep,
+    Statistic,
+    codesign_experiment,
+    run_experiment,
+    sweep_seeds,
+)
 from .metrics import DesignMetrics, improvement_ratio, measure
 from .pareto import TradeoffCurve, TradeoffPoint, sweep_density_weight
 from .report import (
@@ -24,6 +30,7 @@ __all__ = [
     "Statistic",
     "codesign_experiment",
     "generate_report",
+    "run_experiment",
     "TradeoffCurve",
     "TradeoffPoint",
     "sweep_density_weight",

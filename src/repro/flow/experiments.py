@@ -64,21 +64,11 @@ class SeedSweep:
         return "\n".join(stat.render() for stat in self.metrics.values())
 
 
-def sweep_seeds(
-    experiment: Callable[[int], Dict[str, float]],
-    seeds: Sequence[int],
-) -> SeedSweep:
-    """Run ``experiment(seed) -> {metric: value}`` for every seed.
-
-    Every run must return the same metric keys; the sweep aggregates each
-    metric into a :class:`Statistic`.
-    """
-    if not seeds:
-        raise ValueError("at least one seed is required")
+def _aggregate(per_seed: Sequence[Dict[str, float]], seeds: Sequence[int]) -> SeedSweep:
+    """Fold per-seed metric dicts into a :class:`SeedSweep`, checking keys."""
     collected: Dict[str, List[float]] = {}
     keys = None
-    for seed in seeds:
-        result = experiment(seed)
+    for seed, result in zip(seeds, per_seed):
         if keys is None:
             keys = set(result)
         elif set(result) != keys:
@@ -91,6 +81,65 @@ def sweep_seeds(
     for name, values in collected.items():
         sweep.metrics[name] = Statistic(name=name, values=tuple(values))
     return sweep
+
+
+def sweep_seeds(
+    experiment: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+) -> SeedSweep:
+    """Run ``experiment(seed) -> {metric: value}`` for every seed.
+
+    Every run must return the same metric keys; the sweep aggregates each
+    metric into a :class:`Statistic`.
+    """
+    from ..runtime.telemetry import get_telemetry
+
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    telemetry = get_telemetry()
+    per_seed: List[Dict[str, float]] = []
+    for seed in seeds:
+        with telemetry.timer("experiment.seed", seed=seed):
+            per_seed.append(experiment(seed))
+    return _aggregate(per_seed, seeds)
+
+
+def run_experiment(
+    kind: str,
+    params: Dict,
+    seeds: Sequence[int],
+    engine=None,
+) -> SeedSweep:
+    """Fan a registered job type out over a seed set via the runtime engine.
+
+    The engine-backed sibling of :func:`sweep_seeds`: each seed becomes one
+    :class:`~repro.runtime.JobSpec`, so the sweep parallelizes across
+    processes and is served from the result cache on re-runs.  Numeric
+    top-level fields of each job value become the sweep's metrics; nested
+    and non-numeric fields are ignored.
+    """
+    from ..runtime import JobEngine, JobSpec
+
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    engine = engine if engine is not None else JobEngine()
+    specs = [JobSpec(kind, dict(params), seed=int(seed)) for seed in seeds]
+    outcomes = engine.run(specs)
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if failed:
+        details = "; ".join(
+            f"seed {outcome.spec.seed}: {outcome.error}" for outcome in failed
+        )
+        raise RuntimeError(f"{len(failed)} experiment job(s) failed: {details}")
+    per_seed = [
+        {
+            name: float(value)
+            for name, value in outcome.value.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        for outcome in outcomes
+    ]
+    return _aggregate(per_seed, list(seeds))
 
 
 def codesign_experiment(design, flow, metric_grid=None):

@@ -1,0 +1,127 @@
+"""Digest-keyed on-disk result cache.
+
+Layout: ``<root>/<kind>/<digest[:2]>/<digest>.json``, each file a small
+JSON document holding the canonical spec (for auditability) and the job
+value.  Values are JSON, not pickle: entries stay inspectable with any
+text tool and survive library refactors; anything a job returns must
+therefore be plain scalars/lists/dicts, which is also what makes results
+portable across processes.
+
+The root resolves, in order: explicit argument, ``$REPRO_CACHE_DIR``,
+``~/.cache/repro``.  Writes are atomic (temp file + rename) so a killed
+run never leaves a truncated entry; corrupt entries read as misses and
+are deleted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from .spec import CACHE_SCHEMA_VERSION, JobSpec
+
+
+class _Miss:
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<cache MISS>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Sentinel returned by :meth:`ResultCache.get` so cached falsy values
+#: (0, {}, None) are distinguishable from an absent entry.
+MISS = _Miss()
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Get/put job values by spec digest, with hit/miss/write counters."""
+
+    def __init__(self, root=None) -> None:
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def path_for(self, spec: JobSpec) -> Path:
+        digest = spec.digest()
+        return self.root / spec.kind / digest[:2] / f"{digest}.json"
+
+    def get(self, spec: JobSpec):
+        """The cached value for *spec*, or :data:`MISS`."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("stale schema")
+            value = payload["value"]
+        except FileNotFoundError:
+            self.misses += 1
+            return MISS
+        except (ValueError, KeyError, OSError):
+            # Corrupt or stale entry: drop it and report a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return value
+
+    def put(self, spec: JobSpec, value) -> Path:
+        """Store *value* for *spec* atomically; returns the entry path."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "spec": spec.canonical(),
+            "value": value,
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            dir=path.parent,
+            prefix=path.stem,
+            suffix=".tmp",
+            delete=False,
+            encoding="utf-8",
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete entries (all, or one kind); returns the number removed."""
+        base = self.root / kind if kind else self.root
+        removed = 0
+        if base.is_dir():
+            for entry in base.rglob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}

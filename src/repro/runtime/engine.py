@@ -1,0 +1,281 @@
+"""The job engine: process-pool fan-out with cache, retry and timeouts.
+
+Execution policy, in order:
+
+1. every spec is first looked up in the cache (when one is attached);
+2. remaining jobs run on a ``ProcessPoolExecutor`` when ``jobs > 1``,
+   in-process otherwise;
+3. a job that raises is retried up to ``retries`` times with exponential
+   backoff (``backoff * 2**round`` seconds between rounds);
+4. a job that exceeds ``timeout`` seconds is failed permanently — a hung
+   computation would hang again, so it is not retried;
+5. a dead worker (``BrokenProcessPool``) degrades every unresolved job to
+   serial in-process execution rather than failing the run.
+
+Workers run the job under a private :class:`Telemetry` and ship the events
+back with the result, so SA-loop events from a subprocess appear in the
+parent's trace tagged with the job label.  Determinism: each job draws its
+seed from the spec (or the spec digest mixed with ``base_seed``), so the
+results are identical for ``jobs=1`` and ``jobs=N``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .cache import MISS, ResultCache
+from .spec import JobSpec, resolve_job_type
+from .telemetry import Telemetry, get_telemetry, using_telemetry
+
+try:  # BrokenProcessPool moved around across Python versions
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = OSError
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one spec: a value, a cache hit, or an error."""
+
+    spec: JobSpec
+    value: object = None
+    error: Optional[str] = None
+    cached: bool = False
+    attempts: int = 0
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _execute_job(kind: str, params: dict, seed: Optional[int]):
+    """Worker-side entry point: run one job under a private telemetry.
+
+    Module-level so it pickles; returns ``(value, events, seconds)``.
+    """
+    runner = resolve_job_type(kind)
+    telemetry = Telemetry()
+    start = time.perf_counter()
+    with using_telemetry(telemetry):
+        value = runner(params, seed)
+    return value, telemetry.events, time.perf_counter() - start
+
+
+class JobEngine:
+    """Run :class:`JobSpec` lists with caching, parallelism and retries."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        telemetry: Optional[Telemetry] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = 0.05,
+        base_seed: int = 0,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.cache = cache
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.base_seed = base_seed
+
+    # -- public ------------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> List[JobOutcome]:
+        """Execute *specs*; the outcome list matches the input order."""
+        specs = list(specs)
+        telemetry = self.telemetry
+        started = time.perf_counter()
+        outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+
+        for index, spec in enumerate(specs):
+            if self.cache is None:
+                continue
+            value = self.cache.get(spec)
+            if value is not MISS:
+                outcomes[index] = JobOutcome(spec=spec, value=value, cached=True)
+                telemetry.count("cache.hits")
+                telemetry.emit("job.cached", job=spec.label(), kind=spec.kind)
+            else:
+                telemetry.count("cache.misses")
+
+        pending = [i for i, outcome in enumerate(outcomes) if outcome is None]
+        telemetry.emit(
+            "engine.start",
+            jobs=self.jobs,
+            total=len(specs),
+            cached=len(specs) - len(pending),
+            pending=len(pending),
+        )
+
+        if self.jobs > 1 and len(pending) > 1:
+            pending = self._run_parallel(specs, pending, outcomes)
+        for index in pending:
+            outcomes[index] = self._run_serial(specs[index])
+
+        failures = 0
+        for outcome in outcomes:
+            if not outcome.ok:
+                failures += 1
+                continue
+            if self.cache is not None and not outcome.cached:
+                self.cache.put(outcome.spec, outcome.value)
+        telemetry.count("jobs.total", len(specs))
+        telemetry.count("jobs.failed", failures)
+        telemetry.emit(
+            "engine.end",
+            total=len(specs),
+            failures=failures,
+            seconds=round(time.perf_counter() - started, 6),
+            **(self.cache.stats if self.cache is not None else {}),
+        )
+        return outcomes
+
+    def run_one(self, spec: JobSpec) -> JobOutcome:
+        return self.run([spec])[0]
+
+    # -- serial ------------------------------------------------------------
+
+    def _run_serial(self, spec: JobSpec) -> JobOutcome:
+        """In-process execution with the retry policy (no timeout: a hung
+        job in-process cannot be interrupted portably)."""
+        telemetry = self.telemetry
+        runner = resolve_job_type(spec.kind)
+        seed = spec.derived_seed(self.base_seed)
+        last_error = "never ran"
+        for round_ in range(self.retries + 1):
+            if round_:
+                time.sleep(self.backoff * (2 ** (round_ - 1)))
+                telemetry.count("jobs.retried")
+            start = time.perf_counter()
+            try:
+                with using_telemetry(telemetry):
+                    value = runner(dict(spec.params), seed)
+            except Exception as exc:  # noqa: BLE001 - jobs may fail arbitrarily
+                last_error = f"{type(exc).__name__}: {exc}"
+                telemetry.emit(
+                    "job.error", job=spec.label(), kind=spec.kind,
+                    error=last_error, attempt=round_ + 1,
+                )
+                continue
+            seconds = time.perf_counter() - start
+            telemetry.emit(
+                "job.done", job=spec.label(), kind=spec.kind,
+                seconds=round(seconds, 6), attempts=round_ + 1, mode="serial",
+            )
+            return JobOutcome(
+                spec=spec, value=value, attempts=round_ + 1, seconds=seconds
+            )
+        telemetry.emit("job.failed", job=spec.label(), kind=spec.kind, error=last_error)
+        return JobOutcome(spec=spec, error=last_error, attempts=self.retries + 1)
+
+    # -- parallel ----------------------------------------------------------
+
+    def _run_parallel(
+        self,
+        specs: Sequence[JobSpec],
+        indexes: List[int],
+        outcomes: List[Optional[JobOutcome]],
+    ) -> List[int]:
+        """Pool execution for *indexes*; fills ``outcomes`` in place.
+
+        Returns the indexes that must fall back to serial execution
+        (non-empty only when the pool broke underneath us).
+        """
+        telemetry = self.telemetry
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(indexes)))
+        degraded = False
+        try:
+            remaining = list(indexes)
+            errors: Dict[int, str] = {}
+            for round_ in range(self.retries + 1):
+                if round_:
+                    time.sleep(self.backoff * (2 ** (round_ - 1)))
+                futures = {
+                    i: pool.submit(
+                        _execute_job,
+                        specs[i].kind,
+                        dict(specs[i].params),
+                        specs[i].derived_seed(self.base_seed),
+                    )
+                    for i in remaining
+                }
+                failed: List[int] = []
+                for i, future in futures.items():
+                    spec = specs[i]
+                    try:
+                        value, events, seconds = future.result(timeout=self.timeout)
+                    except FutureTimeout:
+                        future.cancel()
+                        outcomes[i] = JobOutcome(
+                            spec=spec,
+                            error=f"timed out after {self.timeout}s",
+                            attempts=round_ + 1,
+                        )
+                        telemetry.count("jobs.timeout")
+                        telemetry.emit(
+                            "job.timeout", job=spec.label(), kind=spec.kind,
+                            timeout=self.timeout,
+                        )
+                    except BrokenProcessPool:
+                        degraded = True
+                        break
+                    except Exception as exc:  # noqa: BLE001
+                        failed.append(i)
+                        errors[i] = f"{type(exc).__name__}: {exc}"
+                        telemetry.emit(
+                            "job.error", job=spec.label(), kind=spec.kind,
+                            error=errors[i], attempt=round_ + 1,
+                        )
+                    else:
+                        telemetry.ingest(events, job=spec.label())
+                        telemetry.emit(
+                            "job.done", job=spec.label(), kind=spec.kind,
+                            seconds=round(seconds, 6), attempts=round_ + 1,
+                            mode="pool",
+                        )
+                        outcomes[i] = JobOutcome(
+                            spec=spec, value=value,
+                            attempts=round_ + 1, seconds=seconds,
+                        )
+                if degraded:
+                    break
+                if not failed:
+                    return []
+                telemetry.count("jobs.retried", len(failed))
+                remaining = failed
+            if degraded:
+                unresolved = [i for i in indexes if outcomes[i] is None]
+                telemetry.count("engine.degraded")
+                telemetry.emit(
+                    "engine.degraded",
+                    reason="worker process died",
+                    unresolved=len(unresolved),
+                )
+                return unresolved
+            # Retry rounds exhausted: the survivors of `remaining` failed.
+            for i in remaining:
+                spec = specs[i]
+                error = errors.get(i, "failed in worker")
+                outcomes[i] = JobOutcome(
+                    spec=spec, error=error, attempts=self.retries + 1
+                )
+                telemetry.emit(
+                    "job.failed", job=spec.label(), kind=spec.kind, error=error
+                )
+            return []
+        finally:
+            # wait=False: a worker stuck past its timeout must not block us.
+            pool.shutdown(wait=False, cancel_futures=True)

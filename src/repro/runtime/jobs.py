@@ -1,0 +1,120 @@
+"""Built-in job types: the paper's experiments as engine-runnable units.
+
+Each runner is a pure function ``(params, seed) -> JSON value`` so that a
+job can execute in a worker process and its result can live in the disk
+cache.  Runners call exactly the same underlying primitives as the legacy
+serial paths (``flow.compare_assigners``, ``CoDesignFlow.run``,
+``circuits.run_fig6``), so engine results are bit-identical to a serial
+run with the same seeds.
+
+This module imports the flow/circuits layers and is loaded lazily by the
+job-type registry (``spec.resolve_job_type``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .spec import register_job_type
+
+
+def _make_assigner(name: str):
+    from ..assign import BestOfRandomAssigner, DFAAssigner, IFAAssigner
+
+    # "Random" is the paper's randomly *optimized* baseline, matching
+    # flow.compare_assigners.
+    factories = {
+        "Random": lambda: BestOfRandomAssigner(trials=3),
+        "IFA": IFAAssigner,
+        "DFA": DFAAssigner,
+    }
+    return factories[name]()
+
+
+def _build_circuit_design(params: dict):
+    from ..circuits import build_design, table1_circuit
+
+    return build_design(
+        table1_circuit(int(params["circuit"]), tier_count=int(params.get("tiers", 1))),
+        seed=int(params.get("design_seed", 0)),
+    )
+
+
+def _sa_params(params: dict):
+    from ..exchange import SAParams
+
+    overrides = {
+        key: params[key]
+        for key in ("initial_temp", "final_temp", "cooling", "moves_per_temp")
+        if key in params
+    }
+    return SAParams(**overrides) if overrides else None
+
+
+@register_job_type("table2_cell")
+def run_table2_cell(params: dict, seed: Optional[int]):
+    """One Table-2 cell: one assigner on one Table-1 circuit."""
+    from ..routing import (
+        max_density_of_design,
+        route_design,
+        total_flyline_length_of_design,
+    )
+
+    design = _build_circuit_design(params)
+    assigner = _make_assigner(params["assigner"])
+    assignments = assigner.assign_design(design, seed=seed)
+    routed = route_design(assignments)
+    return {
+        "circuit": design.name,
+        "assigner": assigner.name,
+        "max_density": max_density_of_design(assignments),
+        "wirelength": sum(
+            result.total_routed_length for result in routed.values()
+        ),
+        "flyline_length": total_flyline_length_of_design(assignments),
+    }
+
+
+@register_job_type("codesign")
+def run_codesign(params: dict, seed: Optional[int]):
+    """One Table-3 cell: the two-step flow (DFA + exchange) on one circuit."""
+    from ..flow import CoDesignFlow
+    from ..power import PowerGridConfig
+
+    design = _build_circuit_design(params)
+    flow = CoDesignFlow(
+        sa_params=_sa_params(params),
+        grid_config=PowerGridConfig(size=int(params.get("grid", 32))),
+    )
+    result = flow.run(design, seed=seed)
+    stats = result.exchange.stats
+    return {
+        "circuit": design.name,
+        "tiers": int(params.get("tiers", 1)),
+        "density_after_assignment": result.density_after_assignment,
+        "density_after_exchange": result.density_after_exchange,
+        "ir_improvement": result.ir_improvement,
+        "bonding_improvement": result.bonding_improvement,
+        "max_ir_drop_initial": result.metrics_initial.max_ir_drop,
+        "max_ir_drop_final": result.metrics_final.max_ir_drop,
+        "sa": {
+            "proposed": stats.proposed,
+            "accepted": stats.accepted,
+            "acceptance_ratio": stats.acceptance_ratio,
+            "initial_cost": stats.initial_cost,
+            "best_cost": stats.best_cost,
+        },
+    }
+
+
+@register_job_type("fig6")
+def run_fig6_job(params: dict, seed: Optional[int]):
+    """The Fig.-6 real-chip IR-drop comparison (three pad plans)."""
+    from ..circuits import run_fig6
+
+    result = run_fig6(seed=seed, grid_size=int(params.get("grid", 40)))
+    return {
+        "random_mv": result.random_mv,
+        "regular_mv": result.regular_mv,
+        "optimized_mv": result.optimized_mv,
+    }

@@ -1,0 +1,109 @@
+"""Job specifications, content digests and the job-type registry.
+
+A :class:`JobSpec` is the declarative unit of work the engine executes:
+a registered *kind* (the runner function), a JSON-serializable *params*
+mapping and an optional *seed*.  Its SHA-256 digest over the canonical
+JSON form is the cache key — two specs with the same digest are the same
+experiment, regardless of dict ordering or int/float spelling of equal
+values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+#: Bump to invalidate every existing cache entry (cost model changes, new
+#: metric definitions, ...).  Part of every digest.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _canonical(value):
+    """Normalize *value* into a deterministic JSON-serializable form."""
+    if isinstance(value, Mapping):
+        return {str(key): _canonical(value[key]) for key in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, (int, float, str)):
+        return value
+    raise TypeError(
+        f"job params must be JSON-serializable scalars/lists/dicts, "
+        f"got {type(value).__name__}: {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of work: ``runner(params, seed)`` for a registered kind."""
+
+    kind: str
+    params: Mapping = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def canonical(self) -> dict:
+        """Deterministic dict form, the payload the digest is taken over."""
+        return {
+            "kind": self.kind,
+            "params": _canonical(self.params),
+            "seed": self.seed,
+            "version": CACHE_SCHEMA_VERSION,
+        }
+
+    def digest(self) -> str:
+        payload = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def derived_seed(self, base_seed: int = 0) -> int:
+        """Deterministic per-job seed when the spec carries none.
+
+        Mixes the content digest with *base_seed* so distinct jobs draw
+        distinct-but-reproducible random streams.
+        """
+        if self.seed is not None:
+            return self.seed
+        mix = hashlib.sha256(f"{self.digest()}:{base_seed}".encode()).digest()
+        return int.from_bytes(mix[:4], "big")
+
+    def label(self) -> str:
+        """Short human-readable identity for logs and telemetry."""
+        return f"{self.kind}[{self.digest()[:12]}]"
+
+
+# -- job-type registry ----------------------------------------------------
+
+_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_job_type(name: str) -> Callable:
+    """Decorator: register ``fn(params: dict, seed) -> json-value`` as *name*."""
+
+    def wrap(fn: Callable) -> Callable:
+        _REGISTRY[name] = fn
+        return fn
+
+    return wrap
+
+
+def resolve_job_type(name: str) -> Callable:
+    """Look a runner up by kind, loading the built-in job types on demand."""
+    if name not in _REGISTRY:
+        from . import jobs  # noqa: F401 - imports register the built-ins
+
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown job type {name!r}; registered: {job_types()}"
+        ) from None
+
+
+def job_types() -> List[str]:
+    return sorted(_REGISTRY)

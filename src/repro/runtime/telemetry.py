@@ -1,0 +1,160 @@
+"""Telemetry: counters, timers and a JSONL event sink.
+
+The engine, the SA annealer and the experiment flow all talk to one
+:class:`Telemetry` object.  Events are plain dicts; a sink (usually
+:class:`JsonlSink`) receives each event as it is emitted, and the object
+also keeps an in-memory buffer plus monotonic counters so tests and the
+CLI summary can interrogate a run without parsing the trace file.
+
+A module-level *active* telemetry makes instrumentation non-invasive:
+deep code (the annealer's temperature loop) calls ``get_telemetry()``,
+which returns a no-op singleton unless a caller installed a real one via
+``using_telemetry(...)``.  Worker processes collect events locally and the
+engine re-emits them in the parent, so a trace file is always written from
+a single process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+class Telemetry:
+    """Event buffer + counters, optionally forwarding to a sink."""
+
+    enabled = True
+
+    def __init__(self, sink: Optional[Callable[[dict], None]] = None) -> None:
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._start = time.perf_counter()
+        self.events: List[dict] = []
+        self.counters: Dict[str, float] = {}
+
+    # -- events ------------------------------------------------------------
+
+    def emit(self, name: str, **fields) -> dict:
+        """Record one event; ``t`` is seconds since this object's creation."""
+        event = {"event": name, "t": round(time.perf_counter() - self._start, 6)}
+        event.update(fields)
+        with self._lock:
+            self.events.append(event)
+        if self._sink is not None:
+            self._sink(event)
+        return event
+
+    def ingest(self, events: Iterable[dict], **extra) -> None:
+        """Re-emit events collected elsewhere (e.g. in a worker process)."""
+        for event in events:
+            merged = dict(event)
+            merged.update(extra)
+            with self._lock:
+                self.events.append(merged)
+            if self._sink is not None:
+                self._sink(merged)
+
+    def events_named(self, name: str) -> List[dict]:
+        with self._lock:
+            return [event for event in self.events if event.get("event") == name]
+
+    # -- counters ----------------------------------------------------------
+
+    def count(self, name: str, amount: float = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    @contextmanager
+    def timer(self, name: str, **fields):
+        """Time a block; emits ``<name>`` with ``seconds`` and accumulates
+        ``<name>.seconds`` as a counter."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.count(f"{name}.seconds", elapsed)
+            self.emit(name, seconds=round(elapsed, 6), **fields)
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self.counters)
+
+
+class _NullTelemetry(Telemetry):
+    """Discards everything; the default active telemetry."""
+
+    enabled = False
+
+    def emit(self, name: str, **fields) -> dict:  # pragma: no cover - trivial
+        return {}
+
+    def ingest(self, events, **extra) -> None:
+        pass
+
+    def count(self, name: str, amount: float = 1) -> None:
+        pass
+
+
+NULL = _NullTelemetry()
+
+
+class JsonlSink:
+    """Append events to a JSONL file, one object per line."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        parent = os.path.dirname(os.fspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def __call__(self, event: dict) -> None:
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+_active = NULL
+_active_lock = threading.Lock()
+
+
+def get_telemetry() -> Telemetry:
+    """The currently active telemetry (a no-op unless one was installed)."""
+    return _active
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Install *telemetry* as the active object; returns the previous one."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = telemetry if telemetry is not None else NULL
+    return previous
+
+
+@contextmanager
+def using_telemetry(telemetry: Optional[Telemetry]):
+    """Scope *telemetry* as the active object for a ``with`` block."""
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)

@@ -5,6 +5,7 @@ rotting.  Each runs as a subprocess with a generous timeout; the slower
 flows use their committed (already fast-ish) parameters.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,6 +13,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 FAST_EXAMPLES = [
     "quickstart.py",
     "custom_circuit.py",
@@ -27,12 +29,20 @@ SLOW_EXAMPLES = [
 
 
 def run_example(name: str, timeout: int) -> subprocess.CompletedProcess:
+    # The child interpreter inherits no pytest import magic: put the repo's
+    # src/ on its PYTHONPATH explicitly so `import repro` always resolves.
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name)],
         capture_output=True,
         text=True,
         timeout=timeout,
         cwd=EXAMPLES_DIR,
+        env=env,
     )
 
 

@@ -1,0 +1,305 @@
+"""Unit tests for repro.runtime: specs, cache, engine, telemetry.
+
+Covers the contract the subsystem promises: stable content digests, disk
+cache hits/misses, bounded retry, per-job timeout, serial degradation when
+workers die, jobs=1 == jobs=N determinism, and telemetry emission from the
+SA annealer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import (
+    MISS,
+    JobEngine,
+    JobSpec,
+    JsonlSink,
+    ResultCache,
+    Telemetry,
+    register_job_type,
+    resolve_job_type,
+    using_telemetry,
+)
+
+
+# -- test job types --------------------------------------------------------
+# Module-level so they pickle into pool workers (fork or spawn via import).
+
+
+@register_job_type("echo")
+def _echo_job(params, seed):
+    return {"value": params.get("value", 0), "seed": seed}
+
+
+@register_job_type("flaky")
+def _flaky_job(params, seed):
+    """Fails until a file-based counter reaches `fail_times` (the counter
+    survives process boundaries, unlike a global)."""
+    marker = params["marker"]
+    with open(marker, "a") as handle:
+        handle.write("x")
+    attempts = os.path.getsize(marker)
+    if attempts <= params.get("fail_times", 0):
+        raise RuntimeError(f"planned failure #{attempts}")
+    return {"attempts": attempts}
+
+
+@register_job_type("sleepy")
+def _sleepy_job(params, seed):
+    import time
+
+    time.sleep(params["sleep"])
+    return {"slept": params["sleep"]}
+
+
+@register_job_type("worker_killer")
+def _worker_killer_job(params, seed):
+    # Kill the process only when running in a pool worker; the serial
+    # fallback (parent process) survives and returns a value.
+    if os.getpid() != params["parent_pid"]:
+        os._exit(13)
+    return {"survived": True}
+
+
+@register_job_type("anneal_tiny")
+def _anneal_tiny_job(params, seed):
+    from repro.circuits import build_design, table1_circuit
+    from repro.exchange import FingerPadExchanger, SAParams
+
+    design = build_design(table1_circuit(1), seed=0)
+    exchanger = FingerPadExchanger(
+        design,
+        params=SAParams(initial_temp=0.03, final_temp=0.01, cooling=0.5,
+                        moves_per_temp=10),
+        polish_passes=0,
+    )
+    assignments = {}
+    from repro.assign import DFAAssigner
+
+    assignments = DFAAssigner().assign_design(design, seed=seed)
+    result = exchanger.run(assignments, seed=seed)
+    return {"best_cost": result.stats.best_cost}
+
+
+class TestJobSpec:
+    def test_digest_stable_under_key_order(self):
+        a = JobSpec("echo", {"x": 1, "y": 2}, seed=3)
+        b = JobSpec("echo", {"y": 2, "x": 1}, seed=3)
+        assert a.digest() == b.digest()
+
+    def test_digest_changes_with_params_seed_kind(self):
+        base = JobSpec("echo", {"x": 1}, seed=3)
+        assert base.digest() != JobSpec("echo", {"x": 2}, seed=3).digest()
+        assert base.digest() != JobSpec("echo", {"x": 1}, seed=4).digest()
+        assert base.digest() != JobSpec("other", {"x": 1}, seed=3).digest()
+
+    def test_digest_normalizes_equal_numbers(self):
+        assert (
+            JobSpec("echo", {"x": 1.0}).digest() == JobSpec("echo", {"x": 1}).digest()
+        )
+
+    def test_rejects_unserializable_params(self):
+        with pytest.raises(TypeError):
+            JobSpec("echo", {"x": object()}).digest()
+
+    def test_derived_seed_deterministic_and_distinct(self):
+        a = JobSpec("echo", {"x": 1})
+        b = JobSpec("echo", {"x": 2})
+        assert a.derived_seed(0) == a.derived_seed(0)
+        assert a.derived_seed(0) != a.derived_seed(1)
+        assert a.derived_seed(0) != b.derived_seed(0)
+        assert JobSpec("echo", seed=9).derived_seed(123) == 9
+
+    def test_unknown_job_type(self):
+        with pytest.raises(KeyError, match="no-such-kind"):
+            resolve_job_type("no-such-kind")
+
+
+class TestResultCache:
+    def test_roundtrip_and_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = JobSpec("echo", {"x": 1}, seed=0)
+        assert cache.get(spec) is MISS
+        cache.put(spec, {"value": 42})
+        assert cache.get(spec) == {"value": 42}
+        assert cache.stats == {"hits": 1, "misses": 1, "writes": 1}
+
+    def test_changed_params_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(JobSpec("echo", {"x": 1}), {"v": 1})
+        assert cache.get(JobSpec("echo", {"x": 2})) is MISS
+
+    def test_corrupt_entry_reads_as_miss_and_is_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = JobSpec("echo", {"x": 1})
+        path = cache.put(spec, {"v": 1})
+        path.write_text("{not json")
+        assert cache.get(spec) is MISS
+        assert not path.exists()
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(JobSpec("echo", {"x": 1}), 1)
+        cache.put(JobSpec("flaky", {"x": 1}), 2)
+        assert cache.clear(kind="echo") == 1
+        assert cache.clear() == 1
+
+    def test_env_var_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert ResultCache().root == tmp_path / "custom"
+
+
+class TestEngineSerial:
+    def test_runs_and_caches(self, tmp_path):
+        telemetry = Telemetry()
+        cache = ResultCache(tmp_path)
+        specs = [JobSpec("echo", {"value": v}, seed=v) for v in range(3)]
+        engine = JobEngine(jobs=1, cache=cache, telemetry=telemetry)
+        first = engine.run(specs)
+        assert [outcome.value["value"] for outcome in first] == [0, 1, 2]
+        assert not any(outcome.cached for outcome in first)
+        second = JobEngine(jobs=1, cache=ResultCache(tmp_path)).run(specs)
+        assert all(outcome.cached for outcome in second)
+        assert [o.value for o in second] == [o.value for o in first]
+        assert telemetry.snapshot()["cache.misses"] == 3
+
+    def test_retry_until_success(self, tmp_path):
+        marker = tmp_path / "marker"
+        spec = JobSpec("flaky", {"marker": str(marker), "fail_times": 2})
+        engine = JobEngine(jobs=1, retries=2, backoff=0.001)
+        outcome = engine.run_one(spec)
+        assert outcome.ok and outcome.attempts == 3
+        assert outcome.value == {"attempts": 3}
+
+    def test_always_failing_job_reports_error(self, tmp_path):
+        telemetry = Telemetry()
+        marker = tmp_path / "marker"
+        spec = JobSpec("flaky", {"marker": str(marker), "fail_times": 99})
+        engine = JobEngine(jobs=1, retries=1, backoff=0.001, telemetry=telemetry)
+        outcome = engine.run_one(spec)
+        assert not outcome.ok
+        assert "planned failure" in outcome.error
+        assert outcome.attempts == 2
+        assert telemetry.events_named("job.failed")
+        # failures are not cached
+        assert outcome.value is None
+
+
+class TestEngineParallel:
+    def test_matches_serial(self):
+        specs = [JobSpec("echo", {"value": v}, seed=v) for v in range(6)]
+        serial = JobEngine(jobs=1).run(specs)
+        parallel = JobEngine(jobs=4).run(specs)
+        assert [o.value for o in serial] == [o.value for o in parallel]
+
+    def test_parallel_retry(self, tmp_path):
+        markers = [tmp_path / f"marker{i}" for i in range(2)]
+        specs = [
+            JobSpec("flaky", {"marker": str(marker), "fail_times": 1})
+            for marker in markers
+        ]
+        outcomes = JobEngine(jobs=2, retries=1, backoff=0.001).run(specs)
+        assert all(outcome.ok for outcome in outcomes)
+        assert all(outcome.attempts == 2 for outcome in outcomes)
+
+    def test_timeout_fails_job_without_retry(self):
+        telemetry = Telemetry()
+        specs = [
+            JobSpec("sleepy", {"sleep": 3}),
+            JobSpec("echo", {"value": 1}),
+        ]
+        engine = JobEngine(jobs=2, timeout=0.3, retries=2, telemetry=telemetry)
+        outcomes = engine.run(specs)
+        assert not outcomes[0].ok and "timed out" in outcomes[0].error
+        assert outcomes[1].ok
+        assert telemetry.events_named("job.timeout")
+        assert telemetry.snapshot()["jobs.timeout"] == 1
+
+    def test_degrades_to_serial_when_worker_dies(self):
+        telemetry = Telemetry()
+        specs = [
+            JobSpec("worker_killer", {"parent_pid": os.getpid(), "n": n})
+            for n in range(2)
+        ]
+        outcomes = JobEngine(jobs=2, retries=0, telemetry=telemetry).run(specs)
+        assert all(outcome.ok for outcome in outcomes)
+        assert all(outcome.value == {"survived": True} for outcome in outcomes)
+        assert telemetry.events_named("engine.degraded")
+
+
+class TestDeterminism:
+    def test_codesign_jobs1_vs_jobs4(self):
+        from repro.runtime.workloads import smoke_specs
+
+        specs = smoke_specs(seed=3)
+        serial = JobEngine(jobs=1).run(specs)
+        parallel = JobEngine(jobs=4).run(specs)
+        assert [o.value for o in serial] == [o.value for o in parallel]
+
+
+class TestTelemetry:
+    def test_annealer_emits_events(self):
+        telemetry = Telemetry()
+        with using_telemetry(telemetry):
+            value = resolve_job_type("anneal_tiny")({}, 5)
+        assert value["best_cost"] == pytest.approx(value["best_cost"])
+        begins = telemetry.events_named("sa.begin")
+        steps = telemetry.events_named("sa.step")
+        ends = telemetry.events_named("sa.end")
+        assert begins and steps and ends
+        assert all("acceptance" in event for event in steps)
+        assert 0.0 <= ends[-1]["acceptance_ratio"] <= 1.0
+
+    def test_worker_events_reach_parent_trace(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        with JsonlSink(trace) as sink:
+            telemetry = Telemetry(sink=sink)
+            outcomes = JobEngine(jobs=2, telemetry=telemetry).run(
+                [JobSpec("anneal_tiny", {}, seed=s) for s in (1, 2)]
+            )
+        assert all(outcome.ok for outcome in outcomes)
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        sa_events = [e for e in events if e["event"].startswith("sa.")]
+        assert sa_events and all("job" in event for event in sa_events)
+        assert any(event["event"] == "engine.end" for event in events)
+
+    def test_timer_counter(self):
+        telemetry = Telemetry()
+        with telemetry.timer("stage", stage="x"):
+            pass
+        assert telemetry.snapshot()["stage.seconds"] >= 0
+        assert telemetry.events_named("stage")[0]["stage"] == "x"
+
+
+class TestRunExperiment:
+    def test_engine_backed_sweep(self, tmp_path):
+        from repro.flow import run_experiment
+
+        engine = JobEngine(jobs=2, cache=ResultCache(tmp_path))
+        sweep = run_experiment("echo", {"value": 7}, seeds=[1, 2, 3], engine=engine)
+        assert sweep["value"].mean == 7
+        assert sweep["seed"].count == 3
+        # second run is fully cached
+        telemetry = Telemetry()
+        engine2 = JobEngine(
+            jobs=2, cache=ResultCache(tmp_path), telemetry=telemetry
+        )
+        run_experiment("echo", {"value": 7}, seeds=[1, 2, 3], engine=engine2)
+        assert telemetry.snapshot()["cache.hits"] == 3
+
+    def test_failure_raises(self, tmp_path):
+        from repro.flow import run_experiment
+
+        marker = tmp_path / "marker"
+        engine = JobEngine(jobs=1, retries=0)
+        with pytest.raises(RuntimeError, match="failed"):
+            run_experiment(
+                "flaky",
+                {"marker": str(marker), "fail_times": 99},
+                seeds=[1],
+                engine=engine,
+            )

@@ -1,0 +1,93 @@
+"""End-to-end tests for ``python -m repro run`` (engine-backed CLI).
+
+Exercises the acceptance path in miniature on the smoke workload: a first
+run computes and populates the cache and writes a telemetry trace; a
+second run is served (>=90%) from cache; ``--seed`` changes the digest and
+therefore misses.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _read_trace(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+@pytest.fixture
+def runtime_dirs(tmp_path):
+    return {
+        "cache": str(tmp_path / "cache"),
+        "trace1": tmp_path / "trace1.jsonl",
+        "trace2": tmp_path / "trace2.jsonl",
+        "trace3": tmp_path / "trace3.jsonl",
+    }
+
+
+def test_run_smoke_cached_second_invocation(runtime_dirs, capsys):
+    args = ["run", "smoke", "--jobs", "2", "--cache-dir", runtime_dirs["cache"]]
+
+    assert main(args + ["--trace", str(runtime_dirs["trace1"])]) == 0
+    first_out = capsys.readouterr().out
+    assert "psi=1" in first_out and "psi=4" in first_out
+
+    assert main(args + ["--trace", str(runtime_dirs["trace2"])]) == 0
+    second_out = capsys.readouterr().out
+    assert second_out == first_out, "cached results must render identically"
+
+    events = _read_trace(runtime_dirs["trace2"])
+    end = [event for event in events if event["event"] == "engine.end"][-1]
+    assert end["hits"] / end["total"] >= 0.9, end
+    assert [e for e in events if e["event"] == "job.cached"]
+
+    # trace of the first (computing) run has per-job timing and SA events
+    events = _read_trace(runtime_dirs["trace1"])
+    done = [event for event in events if event["event"] == "job.done"]
+    assert done and all(event["seconds"] > 0 for event in done)
+    steps = [event for event in events if event["event"] == "sa.step"]
+    assert steps and all("acceptance" in event for event in steps)
+
+
+def test_run_seed_changes_cache_key(runtime_dirs, capsys):
+    args = ["run", "smoke", "--cache-dir", runtime_dirs["cache"]]
+    assert main(args) == 0
+    assert main(args + ["--seed", "99", "--trace", str(runtime_dirs["trace3"])]) == 0
+    capsys.readouterr()
+    events = _read_trace(runtime_dirs["trace3"])
+    end = [event for event in events if event["event"] == "engine.end"][-1]
+    assert end["hits"] == 0 and end["misses"] == 2
+
+
+def test_run_no_cache_never_touches_disk(runtime_dirs, tmp_path, capsys):
+    assert (
+        main(
+            [
+                "run",
+                "smoke",
+                "--no-cache",
+                "--cache-dir",
+                runtime_dirs["cache"],
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    from pathlib import Path
+
+    assert not Path(runtime_dirs["cache"]).exists()
+
+
+def test_table2_jobs_flag_parses():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["table2", "--jobs", "4", "--seed", "1"])
+    assert args.jobs == 4 and args.seed == 1
+    args = build_parser().parse_args(["run", "--jobs", "2"])
+    assert args.workload == "table2" and args.cache is True
+    args = build_parser().parse_args(["run", "fig6", "--no-cache"])
+    assert args.workload == "fig6" and args.cache is False
