@@ -1,12 +1,18 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-smoke report examples clean
+.PHONY: install test check bench bench-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/ -q
+
+# Robustness gate: the chaos fault-injection suite plus a strict deep
+# verification of the smoke workload (see docs/robustness.md).
+check:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest tests/test_chaos.py -q
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro check smoke --verify strict
 
 bench:
 	pytest benchmarks/ --benchmark-only

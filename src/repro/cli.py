@@ -3,6 +3,7 @@
 Commands
 --------
 ``run <workload>``      run a workload on the job engine (parallel + cached)
+``check <workload>``    deep-verify a workload's invariants (docs/robustness.md)
 ``table1``              print the test-circuit parameter table
 ``table2``              run the Random/IFA/DFA comparison (Table 2)
 ``table3``              run the exchange experiment (Table 3; slower)
@@ -13,7 +14,10 @@ Commands
 
 ``table2``/``table3``/``fig6`` accept ``--jobs N`` to fan their independent
 jobs out over worker processes; ``run`` adds the result cache and a JSONL
-telemetry trace on top (see docs/runtime.md).
+telemetry trace on top (see docs/runtime.md).  ``--verify {off,strict,
+repair}`` makes the engine re-check every job result (fresh or cached)
+before it is tabulated: ``strict`` fails on an invalid value, ``repair``
+recomputes it (see docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ def _run_workload(
     trace=None,
     timeout=None,
     retries: int = 1,
+    verify: str = "off",
 ) -> int:
     """Execute one named workload on the job engine and print its table."""
     from .runtime import JobEngine, JsonlSink, ResultCache, Telemetry
@@ -60,6 +65,7 @@ def _run_workload(
             telemetry=telemetry,
             timeout=timeout,
             retries=retries,
+            verify=verify,
         )
         print(
             f"running {len(specs)} {name} job(s) "
@@ -100,12 +106,28 @@ def _cmd_run(args) -> int:
         trace=args.trace,
         timeout=args.timeout,
         retries=args.retries,
+        verify=args.verify,
     )
 
 
+def _cmd_check(args) -> int:
+    from .verify import check_workload
+
+    if args.verify == "off":
+        print("check requires an active policy (strict or repair)", file=sys.stderr)
+        return 2
+    report = check_workload(
+        args.workload, seed=args.seed, grid=args.grid, verify=args.verify
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_table2(args) -> int:
-    if args.jobs > 1:
-        return _run_workload("table2", seed=args.seed, jobs=args.jobs)
+    if args.jobs > 1 or args.verify != "off":
+        return _run_workload(
+            "table2", seed=args.seed, jobs=args.jobs, verify=args.verify
+        )
     from .circuits import build_table1_designs
 
     table = compare_assigners(build_table1_designs(), seed=args.seed)
@@ -114,8 +136,14 @@ def _cmd_table2(args) -> int:
 
 
 def _cmd_table3(args) -> int:
-    if args.jobs > 1:
-        return _run_workload("table3", seed=args.seed, grid=args.grid, jobs=args.jobs)
+    if args.jobs > 1 or args.verify != "off":
+        return _run_workload(
+            "table3",
+            seed=args.seed,
+            grid=args.grid,
+            jobs=args.jobs,
+            verify=args.verify,
+        )
     from .circuits import build_design, table1_circuit
     from .flow import CoDesignFlow, render_table3
     from .power import PowerGridConfig
@@ -134,8 +162,10 @@ def _cmd_table3(args) -> int:
 
 
 def _cmd_fig6(args) -> int:
-    if args.jobs > 1:
-        return _run_workload("fig6", seed=args.seed, jobs=args.jobs)
+    if args.jobs > 1 or args.verify != "off":
+        return _run_workload(
+            "fig6", seed=args.seed, jobs=args.jobs, verify=args.verify
+        )
     from .circuits import run_fig6
     from .flow import render_fig6
 
@@ -236,6 +266,17 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_verify_flag(parser, default: str = "off") -> None:
+    from .verify import CLI_POLICIES
+
+    parser.add_argument(
+        "--verify",
+        choices=CLI_POLICIES,
+        default=default,
+        help="result-verification policy (see docs/robustness.md)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -282,22 +323,45 @@ def build_parser() -> argparse.ArgumentParser:
     prun.add_argument(
         "--retries", type=int, default=1, help="retry attempts for failing jobs"
     )
+    _add_verify_flag(prun)
     prun.set_defaults(func=_cmd_run)
+
+    pchk = sub.add_parser(
+        "check", help="deep-verify a workload's invariants without tabulating"
+    )
+    pchk.add_argument(
+        "workload",
+        nargs="?",
+        default="smoke",
+        choices=sorted(WORKLOADS),
+        help="workload to verify (default: smoke)",
+    )
+    pchk.add_argument(
+        "--seed", type=int, default=None, help="base seed (workload default if omitted)"
+    )
+    pchk.add_argument(
+        "--grid", type=int, default=None, help="power grid size (workload default)"
+    )
+    _add_verify_flag(pchk, default="strict")
+    pchk.set_defaults(func=_cmd_check)
 
     p2 = sub.add_parser("table2", help="run the Table-2 comparison")
     p2.add_argument("--seed", type=int, default=42)
     p2.add_argument("--jobs", type=_positive_int, default=1, help="worker processes")
+    _add_verify_flag(p2)
     p2.set_defaults(func=_cmd_table2)
 
     p3 = sub.add_parser("table3", help="run the Table-3 exchange experiment")
     p3.add_argument("--seed", type=int, default=7)
     p3.add_argument("--grid", type=int, default=32, help="power grid size")
     p3.add_argument("--jobs", type=_positive_int, default=1, help="worker processes")
+    _add_verify_flag(p3)
     p3.set_defaults(func=_cmd_table3)
 
     p6 = sub.add_parser("fig6", help="run the Fig.-6 real-chip comparison")
     p6.add_argument("--seed", type=int, default=2009)
     p6.add_argument("--jobs", type=_positive_int, default=1, help="worker processes")
+    _add_verify_flag(p6)
     p6.set_defaults(func=_cmd_fig6)
 
     pa = sub.add_parser("assign", help="assign a JSON design")

@@ -46,3 +46,62 @@ class CircuitSpecError(ReproError):
 
 class SerializationError(ReproError):
     """A design could not be written to or read from disk."""
+
+
+class NonFiniteCostError(ExchangeError):
+    """An exchange cost evaluated to NaN/inf — the state is untrustworthy."""
+
+
+class CacheIntegrityError(ReproError):
+    """A cache entry failed its digest or schema validation."""
+
+
+class VerificationError(ReproError):
+    """One or more runtime invariants failed (see ``.diagnostics``)."""
+
+    def __init__(self, message: str, diagnostics=None) -> None:
+        super().__init__(message)
+        #: The :class:`repro.verify.Diagnostic` records behind the failure.
+        self.diagnostics = list(diagnostics or [])
+
+
+#: Machine-readable failure classes, in precedence order: the first
+#: matching entry classifies an exception for telemetry and triage.
+ERROR_TAXONOMY = (
+    ("verification", VerificationError),
+    ("cache", CacheIntegrityError),
+    ("nonfinite", NonFiniteCostError),
+    ("legality", LegalityError),
+    ("assignment", AssignmentError),
+    ("routing", RoutingError),
+    ("exchange", ExchangeError),
+    ("power", PowerModelError),
+    ("package", PackageModelError),
+    ("circuit", CircuitSpecError),
+    ("geometry", GeometryError),
+    ("serialization", SerializationError),
+    ("repro", ReproError),
+)
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map an exception to its taxonomy class.
+
+    Library errors resolve to their :data:`ERROR_TAXONOMY` entry; common
+    runtime failures get stable names of their own; anything else is
+    ``"unknown"``.  Control-flow exceptions (``KeyboardInterrupt``,
+    ``SystemExit``) are deliberately not classified — callers must re-raise
+    them, never record them as job failures.
+    """
+    for name, error_type in ERROR_TAXONOMY:
+        if isinstance(exc, error_type):
+            return name
+    if isinstance(exc, TimeoutError):
+        return "timeout"
+    if isinstance(exc, MemoryError):
+        return "resource"
+    if isinstance(exc, (OSError, IOError)):
+        return "os"
+    if isinstance(exc, (TypeError, ValueError, KeyError, AttributeError)):
+        return "contract"
+    return "unknown"

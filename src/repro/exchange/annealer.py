@@ -20,6 +20,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from ..errors import NonFiniteCostError
+
 
 @dataclass(frozen=True)
 class SAParams:
@@ -60,6 +62,9 @@ class SAStats:
     infeasible: int = 0
     accepted: int = 0
     accepted_uphill: int = 0
+    #: Moves rejected because their cost delta was NaN/inf (see
+    #: ``SimulatedAnnealer.optimize``; normally 0).
+    nonfinite_rejected: int = 0
     initial_cost: float = 0.0
     final_cost: float = 0.0
     best_cost: float = 0.0
@@ -110,6 +115,12 @@ class SimulatedAnnealer:
         params = self.params
         stats = SAStats()
         current_cost = cost()
+        if not math.isfinite(current_cost):
+            # There is no way to anneal from a poisoned cost: every delta
+            # would be NaN and Metropolis acceptance would be arbitrary.
+            raise NonFiniteCostError(
+                f"initial annealing cost is non-finite: {current_cost!r}"
+            )
         stats.initial_cost = current_cost
         stats.best_cost = current_cost
         best_snapshot = snapshot() if snapshot else None
@@ -134,6 +145,21 @@ class SimulatedAnnealer:
                 apply(move)
                 new_cost = cost()
                 delta = new_cost - current_cost
+                if not math.isfinite(delta):
+                    # A NaN/inf delta would make `random() < exp(-delta/T)`
+                    # silently accept a poisoned state (NaN comparisons are
+                    # False, but delta <= 0 already misfires for -inf, and a
+                    # NaN new_cost corrupts every later delta).  Reject the
+                    # move, keep the last trusted state, and record it.
+                    undo(move)
+                    stats.nonfinite_rejected += 1
+                    telemetry.count("sa.nonfinite_rejected")
+                    telemetry.emit(
+                        "sa.nonfinite",
+                        cost=repr(new_cost),
+                        temperature=round(temperature, 8),
+                    )
+                    continue
                 if delta <= 0 or rng.random() < math.exp(-delta / temperature):
                     current_cost = new_cost
                     stats.accepted += 1

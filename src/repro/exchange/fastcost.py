@@ -11,8 +11,10 @@ packages) while producing *bit-identical* totals
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional
 
+from ..errors import NonFiniteCostError
 from ..package import NetType
 from .bonding import omega_of_assignment
 from .cost import CostWeights, ExchangeCost
@@ -138,6 +140,22 @@ class CachedExchangeCost:
             value += self.weights.bonding * self.bonding_term(assignments)
         if self.weights.wirelength > 0:
             value += self.weights.wirelength * self.wirelength_term(assignments)
+        if not math.isfinite(value):
+            # Name the poisoned term: a NaN total silently accepted by the
+            # SA loop would corrupt every later delta.
+            terms = {
+                "ir": self.ir_term(assignments),
+                "density": self.density_term(assignments),
+            }
+            if self.psi > 1:
+                terms["bonding"] = self.bonding_term(assignments)
+            if self.weights.wirelength > 0:
+                terms["wirelength"] = self.wirelength_term(assignments)
+            bad = [name for name, term in terms.items() if not math.isfinite(term)]
+            raise NonFiniteCostError(
+                f"exchange cost is non-finite ({value!r}); "
+                f"offending term(s): {', '.join(bad) or 'total only'}"
+            )
         return value
 
     def breakdown(self, assignments: Dict) -> Dict[str, float]:

@@ -58,7 +58,17 @@ class CoDesignResult:
 
 
 class CoDesignFlow:
-    """Configurable two-step flow: assignment then exchange."""
+    """Configurable two-step flow: assignment then exchange.
+
+    ``verify`` selects the recovery policy (see :mod:`repro.verify.policy`):
+    ``off`` runs the pre-verification flow; ``strict`` re-checks the design
+    on ingest and each assignment stage on output, raising
+    :class:`~repro.errors.VerificationError` on any violation; ``repair``
+    re-legalizes an illegal assignment in place and only raises when the
+    repair did not restore the invariants; ``degrade`` additionally falls
+    back to the deterministic IFA assigner when the configured assigner's
+    output cannot be repaired.
+    """
 
     def __init__(
         self,
@@ -67,18 +77,35 @@ class CoDesignFlow:
         sa_params: Optional[SAParams] = None,
         grid_config: Optional[PowerGridConfig] = None,
         net_type: Optional[NetType] = NetType.POWER,
+        verify: str = "off",
     ) -> None:
+        from ..verify import normalize
+
         self.assigner = assigner or DFAAssigner()
         self.weights = weights
         self.sa_params = sa_params
         self.grid_config = grid_config
         self.net_type = net_type
+        self.verify = normalize(verify)
 
     def run(
         self, design: PackageDesign, seed: Optional[int] = 0
     ) -> CoDesignResult:
         """Run both steps on *design* and measure before/after."""
+        verifying = self.verify != "off"
+        if verifying:
+            from ..verify import check_design
+
+            # A malformed design has no automatic repair; every active
+            # policy refuses to compute numbers from one.
+            check_design(design).raise_if_errors()
+
         initial = self.assigner.assign_design(design, seed=seed)
+        if verifying:
+            initial = self._verified_assignments(
+                design, initial, stage="assignment", seed=seed
+            )
+
         exchanger = FingerPadExchanger(
             design,
             weights=self.weights,
@@ -86,6 +113,15 @@ class CoDesignFlow:
             net_type=self.net_type,
         )
         exchange = exchanger.run(initial, seed=seed)
+        if verifying:
+            self._verified_assignments(
+                design,
+                exchange.after,
+                stage="exchange",
+                seed=seed,
+                baseline=exchange.before,
+                degradable=False,
+            )
         metrics_initial = measure(
             design,
             exchange.before,
@@ -98,6 +134,15 @@ class CoDesignFlow:
             grid_config=self.grid_config,
             net_type=self.net_type,
         )
+        if verifying:
+            from ..verify import check_power_values
+
+            check_power_values(
+                {
+                    "max_ir_drop_initial": metrics_initial.max_ir_drop,
+                    "max_ir_drop_final": metrics_final.max_ir_drop,
+                }
+            ).raise_if_errors()
         return CoDesignResult(
             design=design,
             assignments_initial=exchange.before,
@@ -106,3 +151,59 @@ class CoDesignFlow:
             metrics_initial=metrics_initial,
             metrics_final=metrics_final,
         )
+
+    def _verified_assignments(
+        self,
+        design: PackageDesign,
+        assignments: Dict,
+        stage: str,
+        seed: Optional[int],
+        baseline: Optional[Dict] = None,
+        degradable: bool = True,
+    ) -> Dict:
+        """Apply the recovery policy to one stage's assignments.
+
+        Returns the (possibly repaired or degraded) assignments; raises
+        :class:`~repro.errors.VerificationError` when the policy is strict
+        or nothing restored the invariants.
+        """
+        from ..runtime.telemetry import get_telemetry
+        from ..verify import (
+            DEGRADE,
+            REPAIR,
+            check_assignments,
+            repair_assignments,
+        )
+
+        report = check_assignments(design, assignments, baseline=baseline)
+        if report.ok:
+            return assignments
+        telemetry = get_telemetry()
+        telemetry.emit(
+            "verify.violation",
+            stage=stage,
+            policy=self.verify,
+            codes=report.codes("error"),
+        )
+        if self.verify in (REPAIR, DEGRADE):
+            moved = repair_assignments(design, assignments)
+            repaired = check_assignments(design, assignments, baseline=baseline)
+            telemetry.emit(
+                "verify.repair",
+                stage=stage,
+                moved=sum(moved.values()),
+                ok=repaired.ok,
+            )
+            if repaired.ok:
+                return assignments
+            if self.verify == DEGRADE and degradable:
+                from ..assign import IFAAssigner
+
+                fallback = IFAAssigner().assign_design(design, seed=seed)
+                check_assignments(design, fallback).raise_if_errors()
+                telemetry.emit("verify.degrade", stage=stage, fallback="IFA")
+                telemetry.count("verify.degraded")
+                return fallback
+            repaired.raise_if_errors()
+        report.raise_if_errors()
+        return assignments

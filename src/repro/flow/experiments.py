@@ -109,6 +109,7 @@ def run_experiment(
     params: Dict,
     seeds: Sequence[int],
     engine=None,
+    verify: str = "off",
 ) -> SeedSweep:
     """Fan a registered job type out over a seed set via the runtime engine.
 
@@ -117,12 +118,17 @@ def run_experiment(
     processes and is served from the result cache on re-runs.  Numeric
     top-level fields of each job value become the sweep's metrics; nested
     and non-numeric fields are ignored.
+
+    ``verify`` (used only when no *engine* is supplied) selects the engine's
+    result-verification policy, so an invalid job value is re-run (repair)
+    or fails the sweep with its diagnostic (strict) instead of being
+    averaged into the statistics.
     """
     from ..runtime import JobEngine, JobSpec
 
     if not seeds:
         raise ValueError("at least one seed is required")
-    engine = engine if engine is not None else JobEngine()
+    engine = engine if engine is not None else JobEngine(verify=verify)
     specs = [JobSpec(kind, dict(params), seed=int(seed)) for seed in seeds]
     outcomes = engine.run(specs)
     failed = [outcome for outcome in outcomes if not outcome.ok]

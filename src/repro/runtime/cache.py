@@ -9,8 +9,11 @@ portable across processes.
 
 The root resolves, in order: explicit argument, ``$REPRO_CACHE_DIR``,
 ``~/.cache/repro``.  Writes are atomic (temp file + rename) so a killed
-run never leaves a truncated entry; corrupt entries read as misses and
-are deleted.
+run never leaves a truncated entry.  Loads are validated: the JSON must
+parse, carry the current schema version and a payload digest equal to the
+requesting spec's digest — a truncated, garbled, swapped or stale entry
+reads as a miss (re-run), is deleted, and emits a ``cache.invalid``
+telemetry event naming the reason.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from .spec import CACHE_SCHEMA_VERSION, JobSpec
+from .telemetry import get_telemetry
 
 
 class _Miss:
@@ -52,32 +56,53 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.invalid = 0
 
     def path_for(self, spec: JobSpec) -> Path:
         digest = spec.digest()
         return self.root / spec.kind / digest[:2] / f"{digest}.json"
 
     def get(self, spec: JobSpec):
-        """The cached value for *spec*, or :data:`MISS`."""
+        """The validated cached value for *spec*, or :data:`MISS`."""
         path = self.path_for(spec)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-            if payload.get("schema") != CACHE_SCHEMA_VERSION:
-                raise ValueError("stale schema")
-            value = payload["value"]
         except FileNotFoundError:
             self.misses += 1
             return MISS
-        except (ValueError, KeyError, OSError):
-            # Corrupt or stale entry: drop it and report a miss.
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            self.misses += 1
-            return MISS
+        except (ValueError, OSError):
+            return self._reject(spec, path, "unreadable")
+        if not isinstance(payload, dict) or "value" not in payload:
+            return self._reject(spec, path, "malformed")
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return self._reject(spec, path, "stale-schema")
+        if payload.get("digest") != spec.digest():
+            return self._reject(spec, path, "digest-mismatch")
         self.hits += 1
-        return value
+        return payload["value"]
+
+    def _reject(self, spec: JobSpec, path: Path, reason: str):
+        """Drop an invalid entry, record it, and report a miss."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.invalid += 1
+        self.misses += 1
+        get_telemetry().emit(
+            "cache.invalid", job=spec.label(), kind=spec.kind, reason=reason
+        )
+        get_telemetry().count("cache.invalid")
+        return MISS
+
+    def invalidate(self, spec: JobSpec) -> None:
+        """Drop the entry of *spec* (used when its *value* failed checks).
+
+        The read already counted as a hit; rebook it as an invalid miss so
+        the stats describe what actually happened.
+        """
+        self.hits = max(0, self.hits - 1)
+        self._reject(spec, self.path_for(spec), "invalid-value")
 
     def put(self, spec: JobSpec, value) -> Path:
         """Store *value* for *spec* atomically; returns the entry path."""
@@ -85,6 +110,7 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
+            "digest": spec.digest(),
             "spec": spec.canonical(),
             "value": value,
         }
@@ -124,4 +150,9 @@ class ResultCache:
 
     @property
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "invalid": self.invalid,
+        }

@@ -22,11 +22,14 @@ results are identical for ``jobs=1`` and ``jobs=N``.
 from __future__ import annotations
 
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..errors import classify_error
+from ..verify.policy import OFF, STRICT, normalize as normalize_policy
 from .cache import MISS, ResultCache
 from .spec import JobSpec, resolve_job_type
 from .telemetry import Telemetry, get_telemetry, using_telemetry
@@ -44,6 +47,8 @@ class JobOutcome:
     spec: JobSpec
     value: object = None
     error: Optional[str] = None
+    #: Taxonomy class of the failure (``errors.classify_error``), when any.
+    error_class: Optional[str] = None
     cached: bool = False
     attempts: int = 0
     seconds: float = 0.0
@@ -78,6 +83,7 @@ class JobEngine:
         retries: int = 1,
         backoff: float = 0.05,
         base_seed: int = 0,
+        verify: str = OFF,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -90,6 +96,12 @@ class JobEngine:
         self.retries = retries
         self.backoff = backoff
         self.base_seed = base_seed
+        #: Result-verification policy: ``off`` (trust job values), ``strict``
+        #: (invalid result fails the job immediately) or ``repair`` (invalid
+        #: result is recomputed like any other failure).  Cached values are
+        #: always re-checked under an active policy; an invalid entry is
+        #: dropped and re-run — never served.
+        self.verify = normalize_policy(verify)
 
     # -- public ------------------------------------------------------------
 
@@ -100,16 +112,26 @@ class JobEngine:
         started = time.perf_counter()
         outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
 
-        for index, spec in enumerate(specs):
-            if self.cache is None:
-                continue
-            value = self.cache.get(spec)
-            if value is not MISS:
-                outcomes[index] = JobOutcome(spec=spec, value=value, cached=True)
-                telemetry.count("cache.hits")
-                telemetry.emit("job.cached", job=spec.label(), kind=spec.kind)
-            else:
-                telemetry.count("cache.misses")
+        # The cache reports invalid entries via the *active* telemetry, so
+        # install the engine's for the lookup phase.
+        with using_telemetry(telemetry):
+            for index, spec in enumerate(specs):
+                if self.cache is None:
+                    continue
+                value = self.cache.get(spec)
+                if value is not MISS and self.verify != OFF:
+                    invalid = self._validate_value(spec, value, source="cache")
+                    if invalid is not None:
+                        # A semantically invalid entry is as bad as a corrupt
+                        # one: drop it and recompute instead of tabulating it.
+                        self.cache.invalidate(spec)
+                        value = MISS
+                if value is not MISS:
+                    outcomes[index] = JobOutcome(spec=spec, value=value, cached=True)
+                    telemetry.count("cache.hits")
+                    telemetry.emit("job.cached", job=spec.label(), kind=spec.kind)
+                else:
+                    telemetry.count("cache.misses")
 
         pending = [i for i, outcome in enumerate(outcomes) if outcome is None]
         telemetry.emit(
@@ -146,6 +168,34 @@ class JobEngine:
     def run_one(self, spec: JobSpec) -> JobOutcome:
         return self.run([spec])[0]
 
+    # -- verification ------------------------------------------------------
+
+    def _validate_value(self, spec: JobSpec, value, source: str) -> Optional[str]:
+        """Check one job value under the verify policy.
+
+        Returns ``None`` when the value passes (or the policy is off),
+        otherwise an error string; emits a ``job.invalid`` telemetry event
+        carrying the machine-readable diagnostic codes.
+        """
+        if self.verify == OFF:
+            return None
+        from ..verify import check_job_value
+
+        report = check_job_value(spec.kind, value)
+        if report.ok:
+            return None
+        self.telemetry.count("jobs.invalid")
+        self.telemetry.emit(
+            "job.invalid",
+            job=spec.label(),
+            kind=spec.kind,
+            source=source,
+            codes=report.codes("error"),
+            error=str(report.errors[0]),
+        )
+        head = "; ".join(str(d) for d in report.errors[:3])
+        return f"VerificationError: invalid {source} result: {head}"
+
     # -- serial ------------------------------------------------------------
 
     def _run_serial(self, spec: JobSpec) -> JobOutcome:
@@ -155,7 +205,10 @@ class JobEngine:
         runner = resolve_job_type(spec.kind)
         seed = spec.derived_seed(self.base_seed)
         last_error = "never ran"
+        last_class: Optional[str] = None
+        attempts = 0
         for round_ in range(self.retries + 1):
+            attempts = round_ + 1
             if round_:
                 time.sleep(self.backoff * (2 ** (round_ - 1)))
                 telemetry.count("jobs.retried")
@@ -163,14 +216,26 @@ class JobEngine:
             try:
                 with using_telemetry(telemetry):
                     value = runner(dict(spec.params), seed)
+            except (KeyboardInterrupt, SystemExit):
+                # Control flow, not a job failure: never swallow, never retry.
+                raise
             except Exception as exc:  # noqa: BLE001 - jobs may fail arbitrarily
                 last_error = f"{type(exc).__name__}: {exc}"
+                last_class = classify_error(exc)
                 telemetry.emit(
                     "job.error", job=spec.label(), kind=spec.kind,
-                    error=last_error, attempt=round_ + 1,
+                    error=last_error, error_class=last_class,
+                    traceback=traceback.format_exc(), attempt=round_ + 1,
                 )
                 continue
             seconds = time.perf_counter() - start
+            invalid = self._validate_value(spec, value, source="serial")
+            if invalid is not None:
+                last_error, last_class = invalid, "verification"
+                if self.verify == STRICT:
+                    # strict: an invalid result is a verdict, not a flake.
+                    break
+                continue
             telemetry.emit(
                 "job.done", job=spec.label(), kind=spec.kind,
                 seconds=round(seconds, 6), attempts=round_ + 1, mode="serial",
@@ -178,8 +243,14 @@ class JobEngine:
             return JobOutcome(
                 spec=spec, value=value, attempts=round_ + 1, seconds=seconds
             )
-        telemetry.emit("job.failed", job=spec.label(), kind=spec.kind, error=last_error)
-        return JobOutcome(spec=spec, error=last_error, attempts=self.retries + 1)
+        telemetry.emit(
+            "job.failed", job=spec.label(), kind=spec.kind,
+            error=last_error, error_class=last_class,
+        )
+        return JobOutcome(
+            spec=spec, error=last_error, error_class=last_class,
+            attempts=attempts,
+        )
 
     # -- parallel ----------------------------------------------------------
 
@@ -200,6 +271,7 @@ class JobEngine:
         try:
             remaining = list(indexes)
             errors: Dict[int, str] = {}
+            classes: Dict[int, str] = {}
             for round_ in range(self.retries + 1):
                 if round_:
                     time.sleep(self.backoff * (2 ** (round_ - 1)))
@@ -222,6 +294,7 @@ class JobEngine:
                         outcomes[i] = JobOutcome(
                             spec=spec,
                             error=f"timed out after {self.timeout}s",
+                            error_class="timeout",
                             attempts=round_ + 1,
                         )
                         telemetry.count("jobs.timeout")
@@ -229,18 +302,46 @@ class JobEngine:
                             "job.timeout", job=spec.label(), kind=spec.kind,
                             timeout=self.timeout,
                         )
+                    except (KeyboardInterrupt, SystemExit):
+                        # Control flow, not a job failure: never swallow.
+                        raise
                     except BrokenProcessPool:
                         degraded = True
                         break
                     except Exception as exc:  # noqa: BLE001
                         failed.append(i)
                         errors[i] = f"{type(exc).__name__}: {exc}"
+                        classes[i] = classify_error(exc)
                         telemetry.emit(
                             "job.error", job=spec.label(), kind=spec.kind,
-                            error=errors[i], attempt=round_ + 1,
+                            error=errors[i], error_class=classes[i],
+                            traceback="".join(
+                                traceback.format_exception(
+                                    type(exc), exc, exc.__traceback__
+                                )
+                            ),
+                            attempt=round_ + 1,
                         )
                     else:
                         telemetry.ingest(events, job=spec.label())
+                        invalid = self._validate_value(spec, value, source="pool")
+                        if invalid is not None:
+                            errors[i], classes[i] = invalid, "verification"
+                            if self.verify == STRICT:
+                                outcomes[i] = JobOutcome(
+                                    spec=spec, error=invalid,
+                                    error_class="verification",
+                                    attempts=round_ + 1,
+                                )
+                                telemetry.emit(
+                                    "job.failed", job=spec.label(),
+                                    kind=spec.kind, error=invalid,
+                                    error_class="verification",
+                                )
+                            else:
+                                # repair: recompute like any other failure.
+                                failed.append(i)
+                            continue
                         telemetry.emit(
                             "job.done", job=spec.label(), kind=spec.kind,
                             seconds=round(seconds, 6), attempts=round_ + 1,
@@ -270,10 +371,12 @@ class JobEngine:
                 spec = specs[i]
                 error = errors.get(i, "failed in worker")
                 outcomes[i] = JobOutcome(
-                    spec=spec, error=error, attempts=self.retries + 1
+                    spec=spec, error=error, error_class=classes.get(i),
+                    attempts=self.retries + 1,
                 )
                 telemetry.emit(
-                    "job.failed", job=spec.label(), kind=spec.kind, error=error
+                    "job.failed", job=spec.label(), kind=spec.kind,
+                    error=error, error_class=classes.get(i),
                 )
             return []
         finally:

@@ -16,8 +16,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional
 
 #: Bump to invalidate every existing cache entry (cost model changes, new
-#: metric definitions, ...).  Part of every digest.
-CACHE_SCHEMA_VERSION = 1
+#: metric definitions, payload layout changes, ...).  Part of every digest.
+#: v2: entries carry their own ``digest`` field, validated on load.
+CACHE_SCHEMA_VERSION = 2
 
 
 def _canonical(value):
@@ -96,6 +97,10 @@ def resolve_job_type(name: str) -> Callable:
     """Look a runner up by kind, loading the built-in job types on demand."""
     if name not in _REGISTRY:
         from . import jobs  # noqa: F401 - imports register the built-ins
+    if name not in _REGISTRY and name.startswith("chaos_"):
+        # Fault-injection jobs live with the verify subsystem; importing it
+        # here lets chaos specs resolve inside fresh pool workers too.
+        from ..verify import chaos  # noqa: F401
 
     try:
         return _REGISTRY[name]

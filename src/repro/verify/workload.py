@@ -1,0 +1,129 @@
+"""Deep verification of the paper workloads: ``python -m repro check``.
+
+Where ``repro run`` executes a workload for its numbers, ``repro check``
+executes it for its *invariants*: every job spec of the workload is
+replayed through the real primitives (circuit generator, assigners, the
+two-step flow) and the full checker stack — design ingest, bijective +
+monotonic-legal assignments re-verified by the actual router, incremental
+cost re-derived from scratch, power results finite and non-negative.
+The result is one merged :class:`VerificationReport` per workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ReproError, VerificationError
+from . import policy as policies
+from .checkers import (
+    check_assignments,
+    check_design,
+    check_job_value,
+    check_power_values,
+)
+from .diagnostics import VerificationReport
+
+
+def _check_table2_cell(spec, verify: str, report: VerificationReport) -> None:
+    from ..power import supply_pad_fractions
+    from ..power.compact import compact_ir_cost
+    from ..runtime.jobs import _build_circuit_design, _make_assigner
+
+    design = _build_circuit_design(dict(spec.params))
+    check_design(design, report=report)
+    assigner = _make_assigner(spec.params["assigner"])
+    assignments = assigner.assign_design(design, seed=spec.seed)
+    check_assignments(design, assignments, deep=True, report=report)
+    fractions = supply_pad_fractions(design, assignments)
+    check_power_values({"compact_ir_cost": compact_ir_cost(fractions)}, report=report)
+
+
+def _check_codesign(spec, verify: str, report: VerificationReport) -> None:
+    from ..flow import CoDesignFlow
+    from ..power import PowerGridConfig
+    from ..runtime.jobs import _build_circuit_design, _sa_params
+
+    params = dict(spec.params)
+    design = _build_circuit_design(params)
+    check_design(design, report=report)
+    if not report.ok:
+        return
+    flow = CoDesignFlow(
+        sa_params=_sa_params(params),
+        grid_config=PowerGridConfig(size=int(params.get("grid", 32))),
+        verify=verify,
+    )
+    result = flow.run(design, seed=spec.seed)
+    check_assignments(
+        design, result.assignments_final,
+        baseline=result.assignments_initial, deep=True, report=report,
+    )
+    check_power_values(
+        {
+            "max_ir_drop_initial": result.metrics_initial.max_ir_drop,
+            "max_ir_drop_final": result.metrics_final.max_ir_drop,
+        },
+        report=report,
+    )
+
+
+def _check_generic(spec, verify: str, report: VerificationReport) -> None:
+    from ..runtime.spec import resolve_job_type
+
+    runner = resolve_job_type(spec.kind)
+    value = runner(dict(spec.params), spec.derived_seed())
+    check_job_value(spec.kind, value, report=report)
+
+
+_CHECKERS = {
+    "table2_cell": _check_table2_cell,
+    "codesign": _check_codesign,
+}
+
+
+def check_workload(
+    name: str,
+    seed: Optional[int] = None,
+    grid: Optional[int] = None,
+    verify: str = policies.STRICT,
+) -> VerificationReport:
+    """Deep-verify every spec of a named workload; returns a merged report.
+
+    ``verify`` is the recovery policy handed to the underlying flow
+    (``strict`` surfaces every violation; ``repair`` lets the flow
+    re-legalize and only reports what could not be fixed).  The report
+    itself never raises — callers decide via
+    :meth:`VerificationReport.raise_if_errors`.
+    """
+    from ..runtime.workloads import WORKLOADS
+
+    verify = policies.normalize(verify)
+    if verify == policies.OFF:
+        raise ValueError("check_workload needs an active policy (strict/repair)")
+    workload = WORKLOADS[name]
+    seed = workload.default_seed if seed is None else seed
+    grid = workload.default_grid if grid is None else grid
+    report = VerificationReport(subject=f"workload {name}")
+    for spec in workload.build(seed, grid):
+        checker = _CHECKERS.get(spec.kind, _check_generic)
+        errors_before = len(report.errors)
+        diagnostics_before = len(report.diagnostics)
+        try:
+            checker(spec, verify, report)
+        except VerificationError as exc:
+            report.diagnostics.extend(exc.diagnostics)
+            if len(report.diagnostics) == diagnostics_before:
+                report.error("check.failed", f"{spec.label()}: {exc}")
+        except ReproError as exc:
+            report.error(
+                "check.failed",
+                f"{spec.label()}: {type(exc).__name__}: {exc}",
+                job=spec.label(),
+            )
+        clean = len(report.errors) == errors_before
+        report.info(
+            "check.spec",
+            f"{spec.label()}: {'clean' if clean else 'dirty'}",
+            job=spec.label(),
+        )
+    return report

@@ -1,0 +1,177 @@
+"""Fault injection: every failure surfaces typed or degrades gracefully.
+
+The contract under test (ISSUE: "never a wrong number"): each of the five
+fault classes — malformed circuit, NaN annealer cost, corrupted cache
+entry, dying worker, hung job — must end in a typed
+:class:`~repro.errors.ReproError` (classified by the taxonomy) or in a
+verified, correct value.  A silent wrong number fails these tests.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import (
+    NonFiniteCostError,
+    PackageModelError,
+    ReproError,
+    classify_error,
+)
+from repro.runtime import JobEngine, JobSpec, ResultCache, Telemetry
+from repro.verify.chaos import (
+    CACHE_CORRUPTIONS,
+    FAULTS,
+    ChaosHarness,
+    corrupt_cache_entry,
+)
+
+
+@pytest.fixture(scope="module")
+def reports(tmp_path_factory):
+    """One full harness run shared by the per-fault assertions."""
+    workdir = tmp_path_factory.mktemp("chaos")
+    return ChaosHarness(seed=11, workdir=workdir, jobs=2).run()
+
+
+class TestAllFaultClasses:
+    def test_plan_covers_every_fault(self, reports):
+        assert sorted(reports) == sorted(FAULTS)
+
+    def test_every_fault_is_contained(self, reports):
+        uncontained = [f for f, r in reports.items() if not r.contained]
+        assert not uncontained, {f: reports[f].error for f in uncontained}
+
+    def test_malformed_circuit_fails_typed(self, reports):
+        report = reports["malformed_circuit"]
+        assert not report.ok
+        assert report.error_class == "package"
+
+    def test_nan_cost_fails_typed(self, reports):
+        report = reports["nan_cost"]
+        assert not report.ok
+        assert report.error_class == "nonfinite"
+        assert "NonFiniteCostError" in report.error
+
+    def test_corrupt_cache_recovers_the_right_value(self, reports):
+        report = reports["corrupt_cache"]
+        assert report.ok
+        assert report.degraded  # the poisoned entry was not served
+        assert report.value["max_density"] == 7
+
+    def test_worker_crash_degrades_to_serial(self, reports):
+        report = reports["worker_crash"]
+        assert report.ok and report.degraded
+        assert report.value == {"survived": True, "fault": "worker_crash"}
+
+    def test_timeout_fails_typed(self, reports):
+        report = reports["timeout"]
+        assert not report.ok
+        assert report.error_class == "timeout"
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults(self, tmp_path):
+        a = ChaosHarness(seed=3, workdir=tmp_path / "a", jobs=1)
+        b = ChaosHarness(seed=3, workdir=tmp_path / "b", jobs=1)
+        for fault in ("malformed_circuit", "nan_cost"):
+            ra, rb = a.inject(fault), b.inject(fault)
+            assert (ra.ok, ra.error, ra.error_class) == (rb.ok, rb.error, rb.error_class)
+
+    def test_corruption_mode_is_seed_deterministic(self, tmp_path):
+        modes = []
+        for name in ("a", "b"):
+            cache = ResultCache(tmp_path / name)
+            spec = JobSpec("chaos_bad_value", {"fail_times": 0}, seed=0)
+            JobEngine(cache=cache).run_one(spec)
+            modes.append(corrupt_cache_entry(cache, spec, seed=5))
+        assert modes[0] == modes[1]
+
+    def test_unknown_fault_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown fault"):
+            ChaosHarness(seed=0, workdir=tmp_path).inject("cosmic_rays")
+
+
+class TestCacheCorruptionMatrix:
+    @pytest.mark.parametrize("mode", CACHE_CORRUPTIONS)
+    def test_no_corruption_changes_the_answer(self, tmp_path, mode):
+        """Under --verify strict every corruption mode reads as a miss and
+        the recomputed value equals the original one."""
+        cache = ResultCache(tmp_path / mode)
+        spec = JobSpec("chaos_bad_value", {"fail_times": 0}, seed=1)
+        honest = JobEngine(cache=cache, verify="strict").run_one(spec)
+        assert honest.ok
+        corrupt_cache_entry(cache, spec, mode=mode)
+        recovered = JobEngine(cache=cache, verify="strict").run_one(spec)
+        assert recovered.ok and not recovered.cached
+        assert recovered.value == honest.value
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = JobSpec("chaos_bad_value", {"fail_times": 0}, seed=1)
+        JobEngine(cache=cache).run_one(spec)
+        with pytest.raises(ValueError, match="corruption mode"):
+            corrupt_cache_entry(cache, spec, mode="bit-rot")
+
+
+class TestChaosJobTypesDirectly:
+    def test_malformed_variants_raise_package_errors(self):
+        from repro.runtime.spec import resolve_job_type
+
+        runner = resolve_job_type("chaos_malformed")
+        for variant in ("duplicate-ball", "empty-row", "tier-range"):
+            with pytest.raises(ReproError) as excinfo:
+                runner({"variant": variant}, 0)
+            assert classify_error(excinfo.value) in ("package", "model")
+
+    def test_nan_cost_raises_nonfinite(self):
+        from repro.runtime.spec import resolve_job_type
+
+        runner = resolve_job_type("chaos_nan_cost")
+        with pytest.raises(NonFiniteCostError):
+            runner({"poison_after": 2}, 0)
+
+    def test_bad_value_recovers_after_failures(self, tmp_path):
+        from repro.runtime.spec import resolve_job_type
+
+        runner = resolve_job_type("chaos_bad_value")
+        marker = str(tmp_path / "marker")
+        first = runner({"fail_times": 1, "marker": marker}, 0)
+        assert math.isnan(first["max_density"])
+        second = runner({"fail_times": 1, "marker": marker}, 0)
+        assert second["max_density"] == 7
+
+
+class TestEngineRecovery:
+    def test_repair_policy_recovers_transient_bad_value(self, tmp_path):
+        telemetry = Telemetry()
+        spec = JobSpec(
+            "chaos_bad_value",
+            {"fail_times": 1, "marker": str(tmp_path / "marker")},
+            seed=0,
+        )
+        outcome = JobEngine(
+            verify="repair", retries=2, backoff=0.001, telemetry=telemetry
+        ).run_one(spec)
+        assert outcome.ok and outcome.value["max_density"] == 7
+        assert telemetry.events_named("job.invalid")
+
+    def test_strict_policy_never_returns_the_nan(self, tmp_path):
+        spec = JobSpec(
+            "chaos_bad_value",
+            {"fail_times": 10, "marker": str(tmp_path / "marker")},
+            seed=0,
+        )
+        outcome = JobEngine(verify="strict", retries=2, backoff=0.001).run_one(spec)
+        assert not outcome.ok
+        assert outcome.error_class == "verification"
+
+    def test_off_policy_returns_the_nan(self, tmp_path):
+        """The control: without verification the wrong number gets through —
+        this is exactly what --verify exists to prevent."""
+        spec = JobSpec(
+            "chaos_bad_value",
+            {"fail_times": 10, "marker": str(tmp_path / "marker")},
+            seed=0,
+        )
+        outcome = JobEngine(verify="off", retries=0).run_one(spec)
+        assert outcome.ok and math.isnan(outcome.value["max_density"])

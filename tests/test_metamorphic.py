@@ -103,3 +103,61 @@ class TestRouterConsistency:
     def test_dfa_deterministic_across_calls(self, sizes):
         quadrant = build(sizes)
         assert DFAAssigner().assign(quadrant).order == DFAAssigner().assign(quadrant).order
+
+
+class TestVerifierProperties:
+    """The verification subsystem against generated instances.
+
+    Two properties tie the assigners, the repair and the checkers together:
+    every assigner output must pass the full (deep) verifier unchanged, and
+    the repair must restore legality from *any* permutation of a legal
+    assignment while keeping each row's slot footprint.
+    """
+
+    @staticmethod
+    def _design(sizes):
+        from repro.geometry import Side
+        from repro.package import PackageDesign
+
+        return PackageDesign({Side.BOTTOM: build(sizes)})
+
+    @given(row_sizes, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_every_assigner_output_passes_the_full_verifier(self, sizes, seed):
+        from repro.assign import IFAAssigner
+        from repro.verify import check_assignments, check_design
+
+        design = self._design(sizes)
+        assert check_design(design).ok
+        for assigner in (IFAAssigner(), DFAAssigner(), RandomAssigner()):
+            assignments = assigner.assign_design(design, seed=seed)
+            report = check_assignments(design, assignments, deep=True)
+            assert report.ok, f"{assigner.name}: {report.render()}"
+
+    @given(row_sizes, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_repair_restores_legality_from_any_perturbation(self, sizes, seed):
+        import random
+
+        from repro.assign import row_violations
+        from repro.verify import repair_assignment
+
+        quadrant = build(sizes)
+        assignment = DFAAssigner().assign(quadrant)
+        rng = random.Random(seed)
+        order = assignment.order
+        rng.shuffle(order)
+        shuffled = Assignment(quadrant, order)
+        footprint = {
+            row: sorted(shuffled.slot_of(n) for n in quadrant.row_nets(row))
+            for row in range(1, quadrant.row_count + 1)
+        }
+        repair_assignment(shuffled)
+        assert row_violations(shuffled) == []
+        after = {
+            row: sorted(shuffled.slot_of(n) for n in quadrant.row_nets(row))
+            for row in range(1, quadrant.row_count + 1)
+        }
+        assert after == footprint
+        # and the repaired assignment routes for real
+        MonotonicRouter().route(shuffled)

@@ -126,7 +126,7 @@ class TestResultCache:
         assert cache.get(spec) is MISS
         cache.put(spec, {"value": 42})
         assert cache.get(spec) == {"value": 42}
-        assert cache.stats == {"hits": 1, "misses": 1, "writes": 1}
+        assert cache.stats == {"hits": 1, "misses": 1, "writes": 1, "invalid": 0}
 
     def test_changed_params_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
