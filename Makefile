@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test check bench bench-smoke report examples clean
+.PHONY: install test check bench bench-smoke bench-kernel report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,12 @@ bench-smoke:
 	@mkdir -p results
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro run smoke \
 		--jobs 2 --no-cache --trace results/smoke_trace.jsonl
+
+# Exchange-kernel throughput gate (<30 s): times the array backend against
+# the object model at 448/1792 fingers and fails below 2x at 1792 (the
+# full sweep with the recorded speedup table is `pytest benchmarks/bench_kernel.py`).
+bench-kernel:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python benchmarks/bench_kernel.py --smoke
 
 report:
 	python -m repro report --output results/REPORT.md

@@ -20,9 +20,9 @@ def sweep(counts):
         spec = CircuitSpec(name=f"sweep{count}", finger_count=count)
         design = build_design(spec, seed=0)
         row = {"count": count}
-        for assigner in (RandomAssigner(seed=0), IFAAssigner(), DFAAssigner()):
+        for assigner in (RandomAssigner(), IFAAssigner(), DFAAssigner()):
             start = time.perf_counter()
-            assignments = assigner.assign_design(design)
+            assignments = assigner.assign_design(design, seed=0)
             elapsed = time.perf_counter() - start
             row[assigner.name] = (
                 max_density_of_design(assignments),

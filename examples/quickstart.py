@@ -21,10 +21,11 @@ def main() -> None:
     print()
 
     # Three ways to assign nets to fingers; all are monotonic-legal.
-    assigners = [RandomAssigner(seed=0), IFAAssigner(), DFAAssigner()]
+    # Seeds are per call, so the same assigner can be reused freely.
+    assigners = [RandomAssigner(), IFAAssigner(), DFAAssigner()]
     results = {}
     for assigner in assigners:
-        assignment = assigner.assign(quadrant)
+        assignment = assigner.assign(quadrant, seed=0)
         results[assigner.name] = assignment
         print(
             f"{assigner.name:<8} order={assignment.order}  "

@@ -31,10 +31,21 @@ from . import (
     exchange,
     flow,
     geometry,
+    kernels,
     package,
     power,
     routing,
     runtime,
+)
+from . import api
+from .api import (
+    AssignResult,
+    EvaluateResult,
+    ExchangeOutcome,
+    RunResult,
+    evaluate,
+    load_design,
+    run,
 )
 from .assign import Assignment, DFAAssigner, IFAAssigner, RandomAssigner
 from .exchange import CostWeights, FingerPadExchanger, SAParams
@@ -57,8 +68,12 @@ from .routing import MonotonicRouter, density_map, max_density, total_flyline_le
 __version__ = "1.0.0"
 
 __all__ = [
+    "AssignResult",
     "Assignment",
     "BumpArray",
+    "EvaluateResult",
+    "ExchangeOutcome",
+    "RunResult",
     "CoDesignFlow",
     "CostWeights",
     "DFAAssigner",
@@ -79,9 +94,13 @@ __all__ = [
     "SAParams",
     "StackingConfig",
     "__version__",
+    "api",
     "compare_assigners",
     "density_map",
+    "evaluate",
+    "load_design",
     "max_density",
     "quadrant_from_rows",
+    "run",
     "total_flyline_length",
 ]

@@ -46,15 +46,26 @@ def _run_workload(
     timeout=None,
     retries: int = 1,
     verify: str = "off",
+    backend: str = "auto",
 ) -> int:
     """Execute one named workload on the job engine and print its table."""
     from .runtime import JobEngine, JsonlSink, ResultCache, Telemetry
+    from .runtime.spec import JobSpec
     from .runtime.workloads import WORKLOADS
 
     workload = WORKLOADS[name]
     seed = workload.default_seed if seed is None else seed
     grid = workload.default_grid if grid is None else grid
     specs = workload.build(seed, grid)
+    if backend != "auto":
+        # Only exchange-running jobs understand the knob; leaving it out of
+        # the default params keeps established cache digests stable.
+        specs = [
+            JobSpec(spec.kind, dict(spec.params, backend=backend), seed=spec.seed)
+            if spec.kind == "codesign"
+            else spec
+            for spec in specs
+        ]
     sink = JsonlSink(trace) if trace else None
     telemetry = Telemetry(sink=sink)
     try:
@@ -107,6 +118,7 @@ def _cmd_run(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         verify=args.verify,
+        backend=args.backend,
     )
 
 
@@ -143,12 +155,15 @@ def _cmd_table3(args) -> int:
             grid=args.grid,
             jobs=args.jobs,
             verify=args.verify,
+            backend=args.backend,
         )
     from .circuits import build_design, table1_circuit
     from .flow import CoDesignFlow, render_table3
     from .power import PowerGridConfig
 
-    flow = CoDesignFlow(grid_config=PowerGridConfig(size=args.grid))
+    flow = CoDesignFlow(
+        grid_config=PowerGridConfig(size=args.grid), backend=args.backend
+    )
     results = {}
     for tiers in (1, 4):
         runs = {}
@@ -323,6 +338,12 @@ def build_parser() -> argparse.ArgumentParser:
     prun.add_argument(
         "--retries", type=int, default=1, help="retry attempts for failing jobs"
     )
+    prun.add_argument(
+        "--backend",
+        choices=("auto", "object", "array", "exact"),
+        default="auto",
+        help="exchange cost backend for codesign jobs (auto picks by size)",
+    )
     _add_verify_flag(prun)
     prun.set_defaults(func=_cmd_run)
 
@@ -355,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
     p3.add_argument("--seed", type=int, default=7)
     p3.add_argument("--grid", type=int, default=32, help="power grid size")
     p3.add_argument("--jobs", type=_positive_int, default=1, help="worker processes")
+    p3.add_argument(
+        "--backend",
+        choices=("auto", "object", "array", "exact"),
+        default="auto",
+        help="exchange cost backend (auto picks by design size)",
+    )
     _add_verify_flag(p3)
     p3.set_defaults(func=_cmd_table3)
 

@@ -56,6 +56,10 @@ class CacheIntegrityError(ReproError):
     """A cache entry failed its digest or schema validation."""
 
 
+class FlowError(ReproError):
+    """A co-design flow result was used in a way its data cannot support."""
+
+
 class VerificationError(ReproError):
     """One or more runtime invariants failed (see ``.diagnostics``)."""
 
@@ -80,6 +84,7 @@ ERROR_TAXONOMY = (
     ("circuit", CircuitSpecError),
     ("geometry", GeometryError),
     ("serialization", SerializationError),
+    ("flow", FlowError),
     ("repro", ReproError),
 )
 

@@ -22,6 +22,11 @@ from typing import Callable, List, Optional
 
 from ..errors import NonFiniteCostError
 
+#: Minimum cost improvement that counts as a new best (and triggers a
+#: snapshot).  Keeps best-state selection invariant to the ~1e-16 rounding
+#: differences between cost backends; genuine Eq.-3 deltas are >= ~1e-6.
+BEST_IMPROVEMENT_EPS = 1e-12
+
 
 @dataclass(frozen=True)
 class SAParams:
@@ -160,13 +165,27 @@ class SimulatedAnnealer:
                         temperature=round(temperature, 8),
                     )
                     continue
-                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                # Draw the Metropolis uniform unconditionally so the rng
+                # stream advances identically for every finite applied move.
+                # With the short-circuit draw, a zero-delta move computed as
+                # 0.0 by one cost backend and +-1e-16 by another would
+                # consume different amounts of randomness and desync the
+                # backends' move sequences from that point on.
+                uniform = rng.random()
+                if delta <= 0 or uniform < math.exp(-delta / temperature):
                     current_cost = new_cost
                     stats.accepted += 1
                     step_accepted += 1
                     if delta > 0:
                         stats.accepted_uphill += 1
-                    if current_cost < stats.best_cost:
+                    # Require a material improvement before re-snapshotting:
+                    # cost backends agree only to float rounding (~1e-16), so
+                    # a strict `<` would let one backend re-snapshot at an
+                    # equal-cost revisit the other skips, and the restored
+                    # "best" states would diverge.  Real Eq.-3 improvements
+                    # are orders of magnitude above this tolerance (it is the
+                    # same margin the polish stage uses).
+                    if current_cost < stats.best_cost - BEST_IMPROVEMENT_EPS:
                         stats.best_cost = current_cost
                         if snapshot:
                             best_snapshot = snapshot()

@@ -8,6 +8,7 @@ ICs) and keep the package density in check (Eq. 2's ID penalty).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -41,7 +42,24 @@ class ExchangeResult:
 
 
 class FingerPadExchanger:
-    """SA-driven exchange over a whole design (2-D and stacking ICs)."""
+    """SA-driven exchange over a whole design (2-D and stacking ICs).
+
+    ``backend`` selects the cost/move machinery the anneal runs on:
+
+    ``"object"``
+        :class:`CachedExchangeCost` over ``Assignment`` objects — the
+        reference implementation, supports custom ``ir_proxy`` injection.
+    ``"array"``
+        :class:`~repro.kernels.ArrayExchangeKernel` — flat NumPy state
+        with O(1) swap deltas, move-for-move identical to ``"object"``
+        under a shared seed (proven by ``tests/test_kernels.py``).
+    ``"exact"``
+        :class:`ExchangeCost` re-derived from scratch every move; only
+        useful for debugging the caches.
+    ``"auto"`` (default)
+        ``"array"`` for large supply-routed designs, else ``"object"``
+        (see :func:`repro.kernels.resolve_backend`).
+    """
 
     def __init__(
         self,
@@ -54,7 +72,8 @@ class FingerPadExchanger:
         track_all_rows: bool = True,
         split_networks: bool = False,
         polish_passes: int = 20,
-        incremental: bool = True,
+        backend: str = "auto",
+        incremental: Optional[bool] = None,
     ) -> None:
         self.design = design
         self.weights = weights or CostWeights()
@@ -65,14 +84,88 @@ class FingerPadExchanger:
         self.track_all_rows = track_all_rows
         self.split_networks = split_networks
         self.polish_passes = polish_passes
-        self.incremental = incremental
+        if incremental is not None:
+            warnings.warn(
+                "FingerPadExchanger(incremental=...) is deprecated; pass "
+                "backend='object' (incremental caches) or backend='exact' "
+                "(from-scratch re-evaluation) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            backend = "object" if incremental else "exact"
+        from ..kernels import resolve_backend
+
+        self.backend = resolve_backend(backend, design, ir_proxy=ir_proxy)
+
+    @property
+    def incremental(self) -> bool:
+        """Deprecated alias kept for old callers: True unless ``exact``."""
+        return self.backend != "exact"
 
     def run(self, assignments: Dict, seed: Optional[int] = None) -> ExchangeResult:
         """Anneal from *assignments*; the input objects are not mutated."""
+        if self.backend == "array":
+            return self._run_array(assignments, seed)
+        return self._run_object(assignments, seed)
+
+    def _run_array(self, assignments: Dict, seed: Optional[int]) -> ExchangeResult:
+        """Anneal on the flat-array kernel; report through the object model."""
+        from ..kernels import ArrayExchangeKernel
+
+        before = {side: assignment.copy() for side, assignment in assignments.items()}
+        kernel = ArrayExchangeKernel(
+            self.design,
+            before,
+            weights=self.weights,
+            net_type=self.net_type,
+            track_all_rows=self.track_all_rows,
+            split_networks=self.split_networks,
+            power_only=self.power_only,
+        )
+        annealer = SimulatedAnnealer(self.params)
+        stats = annealer.optimize(
+            propose=kernel.propose,
+            apply=kernel.apply,
+            undo=kernel.undo,
+            cost=kernel.cost,
+            seed=seed,
+            snapshot=kernel.snapshot,
+        )
+        if stats.best_snapshot is not None:
+            kernel.restore(stats.best_snapshot)
+        if self.polish_passes:
+            kernel.polish(self.polish_passes)
+        after = kernel.assignments()
+        for assignment in after.values():
+            check_legal(assignment)
+
+        # Reporting runs through the object model: identical float values,
+        # and it independently cross-checks the kernel's bookkeeping.
+        cost = CachedExchangeCost(
+            self.design,
+            before,
+            weights=self.weights,
+            net_type=self.net_type,
+            track_all_rows=self.track_all_rows,
+            split_networks=self.split_networks,
+        )
+        psi = self.design.stacking.tier_count
+        return ExchangeResult(
+            before=before,
+            after=after,
+            stats=stats,
+            cost_breakdown_before=cost.breakdown(before),
+            cost_breakdown_after=cost.breakdown(after),
+            omega_before=omega_of_design(before, psi),
+            omega_after=omega_of_design(after, psi),
+        )
+
+    def _run_object(self, assignments: Dict, seed: Optional[int]) -> ExchangeResult:
         before = {side: assignment.copy() for side, assignment in assignments.items()}
         working = {side: assignment.copy() for side, assignment in assignments.items()}
 
-        cost_class = CachedExchangeCost if self.incremental else ExchangeCost
+        incremental = self.backend == "object"
+        cost_class = CachedExchangeCost if incremental else ExchangeCost
         cost = cost_class(
             self.design,
             before,

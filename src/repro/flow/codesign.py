@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..assign import Assigner, DFAAssigner
+from ..errors import FlowError
 from ..exchange import (
     CostWeights,
     ExchangeResult,
@@ -26,22 +27,43 @@ from .metrics import DesignMetrics, improvement_ratio, measure
 
 @dataclass
 class CoDesignResult:
-    """Everything the two-step flow produced for one design."""
+    """Everything the two-step flow produced for one design.
+
+    ``metrics_initial``/``metrics_final`` are ``None`` when the flow was
+    run without measurement; the derived properties raise
+    :class:`~repro.errors.FlowError` in that case rather than crashing
+    with an ``AttributeError`` deep inside a ratio computation.
+    """
 
     design: PackageDesign
     assignments_initial: Dict
     assignments_final: Dict
     exchange: ExchangeResult
-    metrics_initial: DesignMetrics = None
-    metrics_final: DesignMetrics = None
+    metrics_initial: Optional[DesignMetrics] = None
+    metrics_final: Optional[DesignMetrics] = None
     extra: Dict = field(default_factory=dict)
+
+    def _metrics(self) -> tuple:
+        if self.metrics_initial is None or self.metrics_final is None:
+            missing = [
+                name
+                for name, value in (
+                    ("metrics_initial", self.metrics_initial),
+                    ("metrics_final", self.metrics_final),
+                )
+                if value is None
+            ]
+            raise FlowError(
+                f"co-design result has no {' or '.join(missing)}; "
+                "the flow was run without measurement"
+            )
+        return self.metrics_initial, self.metrics_final
 
     @property
     def ir_improvement(self) -> float:
         """Table 3's "Improved IR-drop" ratio (0.1061 = 10.61%)."""
-        return improvement_ratio(
-            self.metrics_initial.max_ir_drop, self.metrics_final.max_ir_drop
-        )
+        initial, final = self._metrics()
+        return improvement_ratio(initial.max_ir_drop, final.max_ir_drop)
 
     @property
     def bonding_improvement(self) -> float:
@@ -50,11 +72,11 @@ class CoDesignResult:
 
     @property
     def density_after_assignment(self) -> int:
-        return self.metrics_initial.max_density
+        return self._metrics()[0].max_density
 
     @property
     def density_after_exchange(self) -> int:
-        return self.metrics_final.max_density
+        return self._metrics()[1].max_density
 
 
 class CoDesignFlow:
@@ -78,6 +100,7 @@ class CoDesignFlow:
         grid_config: Optional[PowerGridConfig] = None,
         net_type: Optional[NetType] = NetType.POWER,
         verify: str = "off",
+        backend: str = "auto",
     ) -> None:
         from ..verify import normalize
 
@@ -87,6 +110,7 @@ class CoDesignFlow:
         self.grid_config = grid_config
         self.net_type = net_type
         self.verify = normalize(verify)
+        self.backend = backend
 
     def run(
         self, design: PackageDesign, seed: Optional[int] = 0
@@ -111,6 +135,7 @@ class CoDesignFlow:
             weights=self.weights,
             params=self.sa_params,
             net_type=self.net_type,
+            backend=self.backend,
         )
         exchange = exchanger.run(initial, seed=seed)
         if verifying:

@@ -1,0 +1,79 @@
+"""Array-backed exchange kernels (``repro.kernels``).
+
+High-throughput mirrors of the object-model cost evaluators: flat NumPy
+state plus O(1) incremental Eq.-3 deltas, proven move-for-move identical
+to the object backend under shared seeds.  ``resolve_backend`` implements
+the ``backend="auto"`` policy used by :class:`~repro.exchange.FingerPadExchanger`.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExchangeError
+
+try:  # numpy is a hard dependency of the repo, but stay importable without it
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    HAVE_NUMPY = False
+
+#: Designs with at least this many nets default to the array backend under
+#: ``backend="auto"``.  Below it the object backend's per-move cost is
+#: already sub-millisecond and its richer diagnostics win.
+ARRAY_BACKEND_THRESHOLD = 512
+
+#: Accepted backend names, in documentation order.
+BACKENDS = ("auto", "object", "array", "exact")
+
+
+def resolve_backend(backend: str, design, ir_proxy=None) -> str:
+    """Map a requested backend to a concrete one (``object|array|exact``).
+
+    ``auto`` picks ``array`` for large supply-routed designs (>=
+    ``ARRAY_BACKEND_THRESHOLD`` nets) when NumPy is importable and no
+    custom ``ir_proxy`` is injected; everything else stays on ``object``.
+    Explicitly requesting ``array`` with a custom ``ir_proxy`` is an
+    error — the kernel hard-codes the paper's compact gap-spread proxy.
+    """
+    if backend not in BACKENDS:
+        raise ExchangeError(
+            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    if backend == "array":
+        if not HAVE_NUMPY:
+            raise ExchangeError("backend='array' requires numpy")
+        if ir_proxy is not None:
+            raise ExchangeError(
+                "backend='array' does not support a custom ir_proxy; "
+                "use backend='object'"
+            )
+        return "array"
+    if backend != "auto":
+        return backend
+    if (
+        HAVE_NUMPY
+        and ir_proxy is None
+        and design.total_net_count >= ARRAY_BACKEND_THRESHOLD
+    ):
+        return "array"
+    return "object"
+
+
+if HAVE_NUMPY:
+    from .exchange import WL_RESYNC_INTERVAL, ArrayExchangeKernel
+    from .state import SideArrays, WatchedRow, build_side_arrays, row_run_counts
+
+    __all__ = [
+        "ARRAY_BACKEND_THRESHOLD",
+        "BACKENDS",
+        "HAVE_NUMPY",
+        "resolve_backend",
+        "ArrayExchangeKernel",
+        "WL_RESYNC_INTERVAL",
+        "SideArrays",
+        "WatchedRow",
+        "build_side_arrays",
+        "row_run_counts",
+    ]
+else:  # pragma: no cover
+    __all__ = ["ARRAY_BACKEND_THRESHOLD", "BACKENDS", "HAVE_NUMPY", "resolve_backend"]

@@ -85,6 +85,10 @@ def run_codesign(params: dict, seed: Optional[int]):
     flow = CoDesignFlow(
         sa_params=_sa_params(params),
         grid_config=PowerGridConfig(size=int(params.get("grid", 32))),
+        # "backend" enters params only when non-default so that existing
+        # cached spec digests stay valid (both backends are move-for-move
+        # identical, so the value is the same either way).
+        backend=str(params.get("backend", "auto")),
     )
     result = flow.run(design, seed=seed)
     stats = result.exchange.stats

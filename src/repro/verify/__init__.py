@@ -31,6 +31,7 @@ from .checkers import (
     FASTCOST_RTOL,
     check_assignments,
     check_design,
+    check_exchange_total,
     check_job_value,
     check_power_values,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "VerificationReport",
     "check_assignments",
     "check_design",
+    "check_exchange_total",
     "check_job_value",
     "check_power_values",
     "check_workload",

@@ -262,6 +262,71 @@ def _check_fastcost(
         )
 
 
+def check_exchange_total(
+    design,
+    baseline: Mapping,
+    assignments: Mapping,
+    claimed: float,
+    weights=None,
+    net_type="POWER",
+    split_networks: bool = False,
+    track_all_rows: bool = True,
+    report: Optional[VerificationReport] = None,
+) -> VerificationReport:
+    """Cross-check a *claimed* Eq.-3 total against the exact scratch model.
+
+    This is the parity oracle for the array exchange kernel: the kernel's
+    incrementally maintained total for *assignments* (relative to the SA
+    *baseline*) must agree with :class:`~repro.exchange.ExchangeCost` — a
+    full from-scratch re-derivation through the object model — within
+    ``FASTCOST_RTOL``.
+
+    ``net_type`` accepts the enum or its name so engine jobs can pass
+    cached JSON params straight through.
+
+    Codes: ``exchange.total-drift``, ``exchange.total-error``.
+    """
+    from ..exchange import ExchangeCost
+    from ..package import NetType
+
+    report = report if report is not None else VerificationReport(
+        subject=f"{getattr(design, 'name', 'design')} exchange total"
+    )
+    if isinstance(net_type, str):
+        net_type = NetType[net_type]
+    try:
+        exact = ExchangeCost(
+            design,
+            baseline,
+            weights=weights,
+            net_type=net_type,
+            track_all_rows=track_all_rows,
+            split_networks=split_networks,
+        ).total(assignments)
+    except ReproError as exc:
+        report.error(
+            "exchange.total-error",
+            f"exact Eq.-3 model could not evaluate the assignments: {exc}",
+        )
+        return report
+    if not (_finite(exact) and _finite(claimed)):
+        report.error(
+            "exchange.total-drift",
+            f"non-finite exchange total (exact {exact!r}, claimed {claimed!r})",
+        )
+        return report
+    scale = max(abs(exact), abs(claimed), 1.0)
+    if abs(exact - claimed) > FASTCOST_RTOL * scale:
+        report.error(
+            "exchange.total-drift",
+            f"claimed exchange total {claimed!r} drifted from the exact "
+            f"re-derivation {exact!r}",
+            exact=exact,
+            claimed=claimed,
+        )
+    return report
+
+
 # -- power results ---------------------------------------------------------
 
 

@@ -83,10 +83,10 @@ class TestExchangerIntegration:
         """The whole exchange must be seed-identical with and without caching."""
         initial = DFAAssigner().assign_design(small_design)
         fast = FingerPadExchanger(
-            small_design, params=FAST_SA, incremental=True
+            small_design, params=FAST_SA, backend="object"
         ).run(initial, seed=9)
         slow = FingerPadExchanger(
-            small_design, params=FAST_SA, incremental=False
+            small_design, params=FAST_SA, backend="exact"
         ).run(initial, seed=9)
         assert {s: a.order for s, a in fast.after.items()} == {
             s: a.order for s, a in slow.after.items()
@@ -97,15 +97,15 @@ class TestExchangerIntegration:
         """Soft check: caching should not cost time (usually saves ~4x)."""
         initial = DFAAssigner().assign_design(small_design)
 
-        def timed(incremental):
+        def timed(backend):
             start = time.perf_counter()
             FingerPadExchanger(
-                small_design, params=FAST_SA, incremental=incremental
+                small_design, params=FAST_SA, backend=backend
             ).run(initial, seed=9)
             return time.perf_counter() - start
 
-        fast = timed(True)
-        slow = timed(False)
+        fast = timed("object")
+        slow = timed("exact")
         assert fast < slow * 1.5  # generous bound to stay CI-stable
 
 

@@ -24,7 +24,7 @@ from repro.routing import (
 DATA_DIR = Path(__file__).parent / "data"
 EXPECTED = json.loads((DATA_DIR / "golden_expected.json").read_text())
 ASSIGNERS = {
-    "Random": RandomAssigner(seed=5),
+    "Random": RandomAssigner(),
     "IFA": IFAAssigner(),
     "DFA": DFAAssigner(),
 }
