@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test check bench bench-smoke bench-kernel report examples clean
+.PHONY: install test check bench bench-smoke bench-kernel bench-obs report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -29,6 +29,12 @@ bench-smoke:
 # full sweep with the recorded speedup table is `pytest benchmarks/bench_kernel.py`).
 bench-kernel:
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python benchmarks/bench_kernel.py --smoke
+
+# Observability null-path gate (<30 s): the instrumented SA loop with
+# telemetry disabled must be within 5% of a telemetry-free replica
+# (see docs/observability.md); writes results/BENCH_obs.json.
+bench-obs:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python benchmarks/bench_obs.py
 
 report:
 	python -m repro report --output results/REPORT.md

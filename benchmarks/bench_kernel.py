@@ -98,9 +98,36 @@ def render(rows) -> str:
     return "\n".join(lines)
 
 
+def write_record(rows) -> None:
+    """Persist the sweep as a ``repro stats --compare``-able bench record."""
+    from pathlib import Path
+
+    from repro.obs.bench import write_bench_record
+
+    metrics = {}
+    for row in rows:
+        count = row["count"]
+        metrics[f"object_us_{count}"] = round(row["object_us"], 3)
+        metrics[f"array_us_{count}"] = round(row["array_us"], 3)
+        metrics[f"speedup_{count}"] = round(row["speedup"], 2)
+    results = Path(__file__).resolve().parent.parent / "results"
+    results.mkdir(exist_ok=True)
+    write_bench_record(
+        results / "BENCH_kernel.json",
+        "kernel_speedup",
+        metrics,
+        seed=0,
+        context={
+            "counts": [row["count"] for row in rows],
+            "array_moves": ARRAY_MOVES,
+        },
+    )
+
+
 def test_kernel_speedup(benchmark, record_result):
     rows = benchmark.pedantic(lambda: sweep(FULL_COUNTS), rounds=1, iterations=1)
     record_result("kernel_speedup", render(rows))
+    write_record(rows)
 
     by_count = {row["count"]: row for row in rows}
     # the ISSUE's acceptance floor, far below what the kernel delivers
@@ -120,6 +147,7 @@ def main(argv=None) -> int:
     counts = SMOKE_COUNTS if args.smoke else FULL_COUNTS
     rows = sweep(counts)
     print(render(rows))
+    write_record(rows)
     if args.smoke:
         speedup = next(r["speedup"] for r in rows if r["count"] == 1792)
         if speedup < 2.0:

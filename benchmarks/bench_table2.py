@@ -8,6 +8,7 @@ DESIGN.md, "Substitutions").
 """
 
 import os
+import time
 
 from repro.flow import render_table2
 from repro.runtime import JobEngine
@@ -26,8 +27,33 @@ def run_table2():
     return table2_table(engine.run(table2_specs(seed=42)))
 
 
+def write_record(table, seconds: float) -> None:
+    """Persist the run as a ``repro stats --compare``-able bench record."""
+    from pathlib import Path
+
+    from repro.obs.bench import write_bench_record
+
+    results = Path(__file__).resolve().parent.parent / "results"
+    results.mkdir(exist_ok=True)
+    write_bench_record(
+        results / "BENCH_table2.json",
+        "table2",
+        {
+            "seconds": round(seconds, 3),
+            "density_ratio_ifa": round(table.average_density_ratio("IFA"), 4),
+            "density_ratio_dfa": round(table.average_density_ratio("DFA"), 4),
+            "wirelength_ratio_ifa": round(table.average_wirelength_ratio("IFA"), 4),
+            "wirelength_ratio_dfa": round(table.average_wirelength_ratio("DFA"), 4),
+        },
+        seed=42,
+        context={"jobs": BENCH_JOBS, "circuits": len(table.circuits())},
+    )
+
+
 def test_table2(benchmark, record_result):
+    started = time.perf_counter()
     table = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    seconds = time.perf_counter() - started
 
     # shape: DFA <= IFA <= Random on every circuit
     for circuit in table.circuits():
@@ -46,6 +72,7 @@ def test_table2(benchmark, record_result):
         f"{table.average_wirelength_ratio('DFA'):.2f}"
     )
     record_result("table2", "\n".join(lines))
+    write_record(table, seconds)
 
     # the factors land in the paper's neighbourhood
     assert table.average_density_ratio("DFA") < table.average_density_ratio("IFA") < 1

@@ -86,12 +86,17 @@ def _telemetry_scope(telemetry):
 
     @contextlib.contextmanager
     def _jsonl_scope():
-        sink = JsonlSink(telemetry)
-        try:
-            with using_telemetry(Telemetry(sink=sink)):
+        from .obs.schema import SCHEMA_VERSION
+
+        # The sink is a context manager, so a facade call that raises
+        # mid-trace still flushes and closes the file.
+        with JsonlSink(telemetry) as sink:
+            scoped = Telemetry(sink=sink)
+            scoped.emit(
+                "trace.meta", schema=SCHEMA_VERSION, tool="repro", command="api"
+            )
+            with using_telemetry(scoped):
                 yield
-        finally:
-            sink.close()
 
     return _jsonl_scope()
 
@@ -252,8 +257,10 @@ def assign(
     telemetry=None,
 ) -> AssignResult:
     """Step 1: congestion-driven finger/pad assignment (DFA by default)."""
+    from .obs.spans import span
+
     assigner = _resolve_assigner(method)
-    with _telemetry_scope(telemetry):
+    with _telemetry_scope(telemetry), span("api.assign", assigner=assigner.name):
         assignments = assigner.assign_design(design, seed=seed)
         if verify != "off":
             from .verify import check_assignments, normalize
@@ -284,6 +291,7 @@ def exchange(
 ) -> ExchangeOutcome:
     """Step 2: SA finger/pad exchange (Eq. 3) from an existing assignment."""
     from .exchange import FingerPadExchanger
+    from .obs.spans import span
 
     exchanger = FingerPadExchanger(
         design,
@@ -292,7 +300,7 @@ def exchange(
         net_type=net_type,
         backend=backend,
     )
-    with _telemetry_scope(telemetry):
+    with _telemetry_scope(telemetry), span("api.exchange", backend=exchanger.backend):
         result = exchanger.run(assignments, seed=seed)
         if verify != "off":
             from .verify import check_assignments, normalize
@@ -316,7 +324,9 @@ def evaluate(
     telemetry=None,
 ) -> EvaluateResult:
     """Measure an assignment: density, wirelength, omega and IR-drop."""
-    with _telemetry_scope(telemetry):
+    from .obs.spans import span
+
+    with _telemetry_scope(telemetry), span("api.evaluate"):
         if verify != "off":
             from .verify import check_assignments, normalize
 
@@ -364,7 +374,9 @@ def run(
         verify=verify,
         backend=backend,
     )
-    with _telemetry_scope(telemetry):
+    from .obs.spans import span
+
+    with _telemetry_scope(telemetry), span("api.run"):
         result = flow.run(design, seed=seed)
     from .kernels import resolve_backend
 

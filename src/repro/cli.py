@@ -11,18 +11,24 @@ Commands
 ``assign <design.json>``   assign a JSON design and print the result
 ``route <design.json>``    assign + route, optionally exporting an SVG
 ``drc <design.json>``      design-rule check a JSON design
+``stats <trace>``       analyse a trace: span tree, phases, SA curve, cache
+``check-trace <trace>`` validate a trace against the event schema + span tree
 
 ``table2``/``table3``/``fig6`` accept ``--jobs N`` to fan their independent
 jobs out over worker processes; ``run`` adds the result cache and a JSONL
 telemetry trace on top (see docs/runtime.md).  ``--verify {off,strict,
 repair}`` makes the engine re-check every job result (fresh or cached)
 before it is tabulated: ``strict`` fails on an invalid value, ``repair``
-recomputes it (see docs/robustness.md).
+recomputes it (see docs/robustness.md).  ``run --trace out.jsonl`` writes a
+schema-versioned trace with hierarchical spans; ``run --profile cprofile``
+adds per-job profiles to it (see docs/observability.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 
 from .assign import DFAAssigner, IFAAssigner, RandomAssigner
@@ -47,8 +53,11 @@ def _run_workload(
     retries: int = 1,
     verify: str = "off",
     backend: str = "auto",
+    profile=None,
 ) -> int:
     """Execute one named workload on the job engine and print its table."""
+    from .obs.schema import SCHEMA_VERSION
+    from .obs.spans import span
     from .runtime import JobEngine, JsonlSink, ResultCache, Telemetry
     from .runtime.spec import JobSpec
     from .runtime.workloads import WORKLOADS
@@ -66,9 +75,21 @@ def _run_workload(
             else spec
             for spec in specs
         ]
-    sink = JsonlSink(trace) if trace else None
-    telemetry = Telemetry(sink=sink)
-    try:
+    # ExitStack owns the sink: however this function exits — success, a job
+    # failure, or an exception anywhere below — the trace file is flushed
+    # and closed exactly once (the pre-obs code leaked the handle when the
+    # engine raised mid-run).
+    with contextlib.ExitStack() as stack:
+        sink = stack.enter_context(JsonlSink(trace)) if trace else None
+        telemetry = Telemetry(sink=sink)
+        meta = {"workload": name, "jobs": jobs, "verify": verify, "backend": backend}
+        if seed is not None:
+            meta["seed"] = seed
+        if profile:
+            meta["profile"] = profile
+        telemetry.emit(
+            "trace.meta", schema=SCHEMA_VERSION, tool="repro", command="run", **meta
+        )
         cache = ResultCache(cache_dir) if use_cache else None
         engine = JobEngine(
             jobs=jobs,
@@ -77,13 +98,15 @@ def _run_workload(
             timeout=timeout,
             retries=retries,
             verify=verify,
+            profile=profile,
         )
         print(
             f"running {len(specs)} {name} job(s) "
             f"(jobs={jobs}, seed={seed}, cache={'on' if cache else 'off'})...",
             file=sys.stderr,
         )
-        outcomes = engine.run(specs)
+        with span("run", telemetry, workload=name):
+            outcomes = engine.run(specs)
         failures = [outcome for outcome in outcomes if not outcome.ok]
         if failures:
             for outcome in failures:
@@ -101,9 +124,6 @@ def _run_workload(
             summary += f"; trace written to {trace}"
         print(summary, file=sys.stderr)
         return 0
-    finally:
-        if sink is not None:
-            sink.close()
 
 
 def _cmd_run(args) -> int:
@@ -119,7 +139,74 @@ def _cmd_run(args) -> int:
         retries=args.retries,
         verify=args.verify,
         backend=args.backend,
+        profile=args.profile,
     )
+
+
+def _cmd_stats(args) -> int:
+    """Analyse a trace (or diff two bench records with ``--compare``)."""
+    import json
+
+    if args.compare:
+        from .obs.bench import (
+            compare_bench_records,
+            load_bench_record,
+            render_compare,
+        )
+
+        try:
+            old = load_bench_record(args.compare[0])
+            new = load_bench_record(args.compare[1])
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot load bench record: {exc}", file=sys.stderr)
+            return 2
+        diff = compare_bench_records(old, new)
+        if args.format == "json":
+            print(json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(render_compare(diff))
+        return 0
+
+    if not args.trace:
+        print("stats needs a trace file (or --compare OLD NEW)", file=sys.stderr)
+        return 2
+    from .obs.stats import render_stats, stats_summary
+    from .obs.trace import load_trace, write_chrome
+
+    try:
+        events, problems = load_trace(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    for problem in problems:
+        print(f"warning: {args.trace}: {problem}", file=sys.stderr)
+    if args.chrome:
+        write_chrome(events, args.chrome)
+        print(f"Chrome trace written to {args.chrome} "
+              "(load in Perfetto or chrome://tracing)", file=sys.stderr)
+    summary = stats_summary(events)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_stats(summary, top=args.top))
+    return 0
+
+
+def _cmd_check_trace(args) -> int:
+    """Validate a trace: event schema + a single rooted span tree."""
+    from .obs.trace import load_trace
+    from .verify import check_trace_events
+
+    try:
+        events, problems = load_trace(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    report = check_trace_events(events, subject=str(args.trace))
+    for problem in problems:
+        report.error("trace.malformed-line", problem)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_check(args) -> int:
@@ -344,8 +431,45 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="exchange cost backend for codesign jobs (auto picks by size)",
     )
+    prun.add_argument(
+        "--profile",
+        choices=("cprofile", "sample"),
+        default=None,
+        help="profile each job; results land in the trace as 'profile' events",
+    )
     _add_verify_flag(prun)
     prun.set_defaults(func=_cmd_run)
+
+    pst = sub.add_parser(
+        "stats", help="analyse a JSONL trace (span tree, phases, SA curve)"
+    )
+    pst.add_argument("trace", nargs="?", default=None, help="JSONL trace file")
+    pst.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    pst.add_argument(
+        "--top", type=_positive_int, default=10, help="span rows in the text report"
+    )
+    pst.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help="also export Chrome trace_event JSON (Perfetto-loadable) here",
+    )
+    pst.add_argument(
+        "--compare",
+        nargs=2,
+        default=None,
+        metavar=("OLD", "NEW"),
+        help="diff two BENCH_*.json perf records instead of reading a trace",
+    )
+    pst.set_defaults(func=_cmd_stats)
+
+    pct = sub.add_parser(
+        "check-trace", help="validate a trace: event schema + rooted span tree"
+    )
+    pct.add_argument("trace", help="JSONL trace file")
+    pct.set_defaults(func=_cmd_check_trace)
 
     pchk = sub.add_parser(
         "check", help="deep-verify a workload's invariants without tabulating"
@@ -424,7 +548,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # `repro stats trace | head` closes our stdout mid-print; that is
+        # normal pipeline behaviour, not an error.  Point stdout at devnull
+        # so the interpreter's exit-time flush does not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -113,9 +113,20 @@ class SimulatedAnnealer:
         seed: Optional[int] = None,
         snapshot: Optional[Callable] = None,
     ) -> SAStats:
+        import time
+
+        from ..obs.metrics import SA_DELTA_BUCKETS
         from ..runtime.telemetry import get_telemetry
 
         telemetry = get_telemetry()
+        # Hoist the enabled check out of the move loop: with telemetry off
+        # the inner loop must touch no telemetry object at all (the ~16k
+        # moves of a production run are gated by ``benchmarks/bench_obs.py``
+        # to within 5% of an uninstrumented loop).
+        track = telemetry.enabled
+        delta_histogram = (
+            telemetry.metrics.histogram("sa.delta", SA_DELTA_BUCKETS) if track else None
+        )
         rng = random.Random(seed)
         params = self.params
         stats = SAStats()
@@ -137,6 +148,7 @@ class SimulatedAnnealer:
             moves_per_temp=params.moves_per_temp,
         )
 
+        loop_started = time.perf_counter()
         temperature = params.initial_temp
         while temperature > params.final_temp:
             step_proposed = step_accepted = 0
@@ -165,6 +177,8 @@ class SimulatedAnnealer:
                         temperature=round(temperature, 8),
                     )
                     continue
+                if delta_histogram is not None:
+                    delta_histogram.record(delta)
                 # Draw the Metropolis uniform unconditionally so the rng
                 # stream advances identically for every finite applied move.
                 # With the short-circuit draw, a zero-delta move computed as
@@ -192,7 +206,7 @@ class SimulatedAnnealer:
                 else:
                     undo(move)
             stats.cost_trace.append(current_cost)
-            if telemetry.enabled:
+            if track:
                 telemetry.emit(
                     "sa.step",
                     temperature=round(temperature, 8),
@@ -203,13 +217,21 @@ class SimulatedAnnealer:
 
         stats.final_cost = current_cost
         stats.best_snapshot = best_snapshot
-        telemetry.emit(
-            "sa.end",
-            final_cost=stats.final_cost,
-            best_cost=stats.best_cost,
-            proposed=stats.proposed,
-            accepted=stats.accepted,
-            accepted_uphill=stats.accepted_uphill,
-            acceptance_ratio=stats.acceptance_ratio,
-        )
+        if track:
+            elapsed = time.perf_counter() - loop_started
+            telemetry.metrics.gauge("sa.acceptance_ratio").set(
+                round(stats.acceptance_ratio, 6)
+            )
+            telemetry.emit(
+                "sa.end",
+                final_cost=stats.final_cost,
+                best_cost=stats.best_cost,
+                proposed=stats.proposed,
+                accepted=stats.accepted,
+                accepted_uphill=stats.accepted_uphill,
+                acceptance_ratio=stats.acceptance_ratio,
+                seconds=round(elapsed, 6),
+                moves_per_s=round(stats.proposed / elapsed, 1) if elapsed else 0.0,
+                nonfinite_rejected=stats.nonfinite_rejected,
+            )
         return stats

@@ -110,31 +110,54 @@ class FingerPadExchanger:
 
     def _run_array(self, assignments: Dict, seed: Optional[int]) -> ExchangeResult:
         """Anneal on the flat-array kernel; report through the object model."""
-        from ..kernels import ArrayExchangeKernel
+        import time
 
+        from ..kernels import ArrayExchangeKernel
+        from ..obs.spans import span
+        from ..runtime.telemetry import get_telemetry
+
+        telemetry = get_telemetry()
         before = {side: assignment.copy() for side, assignment in assignments.items()}
-        kernel = ArrayExchangeKernel(
-            self.design,
-            before,
-            weights=self.weights,
-            net_type=self.net_type,
-            track_all_rows=self.track_all_rows,
-            split_networks=self.split_networks,
-            power_only=self.power_only,
-        )
+        with span("kernel.build", telemetry):
+            kernel = ArrayExchangeKernel(
+                self.design,
+                before,
+                weights=self.weights,
+                net_type=self.net_type,
+                track_all_rows=self.track_all_rows,
+                split_networks=self.split_networks,
+                power_only=self.power_only,
+            )
         annealer = SimulatedAnnealer(self.params)
-        stats = annealer.optimize(
-            propose=kernel.propose,
-            apply=kernel.apply,
-            undo=kernel.undo,
-            cost=kernel.cost,
-            seed=seed,
-            snapshot=kernel.snapshot,
-        )
+        anneal_started = time.perf_counter()
+        with span("sa.anneal", telemetry, backend="array"):
+            stats = annealer.optimize(
+                propose=kernel.propose,
+                apply=kernel.apply,
+                undo=kernel.undo,
+                cost=kernel.cost,
+                seed=seed,
+                snapshot=kernel.snapshot,
+            )
+        anneal_seconds = time.perf_counter() - anneal_started
         if stats.best_snapshot is not None:
             kernel.restore(stats.best_snapshot)
         if self.polish_passes:
-            kernel.polish(self.polish_passes)
+            with span("kernel.polish", telemetry):
+                kernel.polish(self.polish_passes)
+        if telemetry.enabled:
+            telemetry.emit(
+                "kernel.stats",
+                backend="array",
+                proposed=stats.proposed,
+                swaps=kernel.swap_count,
+                resyncs=kernel.resync_count,
+                us_per_move=round(anneal_seconds * 1e6 / stats.proposed, 3)
+                if stats.proposed
+                else 0.0,
+                seconds=round(anneal_seconds, 6),
+            )
+            telemetry.metrics.counter("kernel.resyncs").inc(kernel.resync_count)
         after = kernel.assignments()
         for assignment in after.values():
             check_legal(assignment)
@@ -193,14 +216,19 @@ class FingerPadExchanger:
             if self.incremental:
                 cost.mark_dirty(move.side)
 
-        stats = annealer.optimize(
-            propose=moves.propose,
-            apply=apply,
-            undo=undo,
-            cost=lambda: cost.total(working),
-            seed=seed,
-            snapshot=snapshot,
-        )
+        from ..obs.spans import span
+        from ..runtime.telemetry import get_telemetry
+
+        telemetry = get_telemetry()
+        with span("sa.anneal", telemetry, backend=self.backend):
+            stats = annealer.optimize(
+                propose=moves.propose,
+                apply=apply,
+                undo=undo,
+                cost=lambda: cost.total(working),
+                seed=seed,
+                snapshot=snapshot,
+            )
 
         # Restore the best state seen during the anneal.
         best_orders = stats.best_snapshot
@@ -209,7 +237,8 @@ class FingerPadExchanger:
             for side in working
         }
         if self.polish_passes:
-            self._polish(after, cost)
+            with span("exchange.polish", telemetry):
+                self._polish(after, cost)
         for assignment in after.values():
             check_legal(assignment)
 

@@ -116,58 +116,66 @@ class CoDesignFlow:
         self, design: PackageDesign, seed: Optional[int] = 0
     ) -> CoDesignResult:
         """Run both steps on *design* and measure before/after."""
+        from ..obs.spans import span
+        from ..runtime.telemetry import get_telemetry
+
+        telemetry = get_telemetry()
         verifying = self.verify != "off"
-        if verifying:
-            from ..verify import check_design
+        with span("flow.run", telemetry, design=design.name):
+            if verifying:
+                from ..verify import check_design
 
-            # A malformed design has no automatic repair; every active
-            # policy refuses to compute numbers from one.
-            check_design(design).raise_if_errors()
+                # A malformed design has no automatic repair; every active
+                # policy refuses to compute numbers from one.
+                check_design(design).raise_if_errors()
 
-        initial = self.assigner.assign_design(design, seed=seed)
-        if verifying:
-            initial = self._verified_assignments(
-                design, initial, stage="assignment", seed=seed
-            )
+            with span("flow.assign", telemetry):
+                initial = self.assigner.assign_design(design, seed=seed)
+            if verifying:
+                initial = self._verified_assignments(
+                    design, initial, stage="assignment", seed=seed
+                )
 
-        exchanger = FingerPadExchanger(
-            design,
-            weights=self.weights,
-            params=self.sa_params,
-            net_type=self.net_type,
-            backend=self.backend,
-        )
-        exchange = exchanger.run(initial, seed=seed)
-        if verifying:
-            self._verified_assignments(
+            exchanger = FingerPadExchanger(
                 design,
-                exchange.after,
-                stage="exchange",
-                seed=seed,
-                baseline=exchange.before,
-                degradable=False,
+                weights=self.weights,
+                params=self.sa_params,
+                net_type=self.net_type,
+                backend=self.backend,
             )
-        metrics_initial = measure(
-            design,
-            exchange.before,
-            grid_config=self.grid_config,
-            net_type=self.net_type,
-        )
-        metrics_final = measure(
-            design,
-            exchange.after,
-            grid_config=self.grid_config,
-            net_type=self.net_type,
-        )
-        if verifying:
-            from ..verify import check_power_values
+            with span("flow.exchange", telemetry, backend=exchanger.backend):
+                exchange = exchanger.run(initial, seed=seed)
+            if verifying:
+                self._verified_assignments(
+                    design,
+                    exchange.after,
+                    stage="exchange",
+                    seed=seed,
+                    baseline=exchange.before,
+                    degradable=False,
+                )
+            with span("flow.measure", telemetry):
+                metrics_initial = measure(
+                    design,
+                    exchange.before,
+                    grid_config=self.grid_config,
+                    net_type=self.net_type,
+                )
+                metrics_final = measure(
+                    design,
+                    exchange.after,
+                    grid_config=self.grid_config,
+                    net_type=self.net_type,
+                )
+            if verifying:
+                from ..verify import check_power_values
 
-            check_power_values(
-                {
-                    "max_ir_drop_initial": metrics_initial.max_ir_drop,
-                    "max_ir_drop_final": metrics_final.max_ir_drop,
-                }
-            ).raise_if_errors()
+                check_power_values(
+                    {
+                        "max_ir_drop_initial": metrics_initial.max_ir_drop,
+                        "max_ir_drop_final": metrics_final.max_ir_drop,
+                    }
+                ).raise_if_errors()
         return CoDesignResult(
             design=design,
             assignments_initial=exchange.before,

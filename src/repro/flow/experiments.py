@@ -92,6 +92,7 @@ def sweep_seeds(
     Every run must return the same metric keys; the sweep aggregates each
     metric into a :class:`Statistic`.
     """
+    from ..obs.spans import span
     from ..runtime.telemetry import get_telemetry
 
     if not seeds:
@@ -99,8 +100,9 @@ def sweep_seeds(
     telemetry = get_telemetry()
     per_seed: List[Dict[str, float]] = []
     for seed in seeds:
-        with telemetry.timer("experiment.seed", seed=seed):
-            per_seed.append(experiment(seed))
+        with span("experiment.seed", telemetry, seed=seed):
+            with telemetry.timer("experiment.seed", seed=seed):
+                per_seed.append(experiment(seed))
     return _aggregate(per_seed, seeds)
 
 

@@ -142,6 +142,10 @@ class ArrayExchangeKernel:
 
         if self._track_wl:
             self._build_wirelength_tables()
+        #: Observability counters (read by the exchanger's ``kernel.stats``
+        #: telemetry event): total ``_swap`` calls and wirelength resyncs.
+        self.swap_count = 0
+        self.resync_count = 0
         self._rebuild()
 
     # -- state (re)construction ---------------------------------------------
@@ -327,6 +331,7 @@ class ArrayExchangeKernel:
     # -- hot path --------------------------------------------------------------
 
     def _swap(self, q: int, lo: int) -> None:
+        self.swap_count += 1
         arrays = self.sides[q]
         slot_net = arrays.slot_net
         i = lo - 1
@@ -386,6 +391,7 @@ class ArrayExchangeKernel:
             if self._wl_since_resync >= WL_RESYNC_INTERVAL:
                 self._wl_total = self._exact_wirelength()
                 self._wl_since_resync = 0
+                self.resync_count += 1
 
     def _move_pad(self, cls: int, position: int, new_position: int) -> None:
         nxt = self._nxt[cls]

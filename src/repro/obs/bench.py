@@ -1,0 +1,144 @@
+"""Machine-readable perf records: ``results/BENCH_*.json``.
+
+Each benchmark run writes one self-describing JSON document — what was
+measured, on which git revision, with which seed — so the performance
+trajectory of the repo is tracked in-tree instead of living in CI logs.
+``repro stats --compare old.json new.json`` diffs two records metric by
+metric and flags regressions.
+
+Record layout (``BENCH_SCHEMA = 1``)::
+
+    {
+      "schema": 1,
+      "name": "kernel",
+      "git_rev": "f4e168d...",          # best effort; null outside git
+      "seed": 2009,
+      "timestamp": "2026-08-06T12:00:00+00:00",
+      "metrics": {"us_per_move": 1.9, "speedup": 740.0, ...},
+      "context": {...}                   # free-form provenance
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from datetime import datetime, timezone
+from typing import Dict, Optional
+
+#: Version of the bench-record layout.
+BENCH_SCHEMA = 1
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit hash, or ``None`` when unavailable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def make_bench_record(
+    name: str,
+    metrics: Dict[str, float],
+    seed: Optional[int] = None,
+    context: Optional[dict] = None,
+) -> dict:
+    """Assemble a bench record; all metric values must be numbers."""
+    bad = {k: v for k, v in metrics.items() if not isinstance(v, (int, float))}
+    if bad:
+        raise ValueError(f"bench metrics must be numeric, got {bad!r}")
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "git_rev": git_revision(),
+        "seed": seed,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "metrics": {k: metrics[k] for k in sorted(metrics)},
+        "context": context or {},
+    }
+
+
+def write_bench_record(
+    path,
+    name: str,
+    metrics: Dict[str, float],
+    seed: Optional[int] = None,
+    context: Optional[dict] = None,
+) -> dict:
+    """Write a record to *path* (JSON, trailing newline); returns it."""
+    record = make_bench_record(name, metrics, seed=seed, context=context)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return record
+
+
+def load_bench_record(path) -> dict:
+    """Load and minimally validate one bench record."""
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    if not isinstance(record, dict) or not isinstance(record.get("metrics"), dict):
+        raise ValueError(f"{path}: not a bench record (missing 'metrics' object)")
+    schema = record.get("schema")
+    if isinstance(schema, (int, float)) and schema > BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: bench schema {schema} is newer than supported {BENCH_SCHEMA}"
+        )
+    return record
+
+
+def compare_bench_records(old: dict, new: dict) -> dict:
+    """Metric-by-metric diff of two records.
+
+    Returns ``{"name", "old_rev", "new_rev", "rows": [...]}`` where each
+    row carries the metric name, both values and the relative change
+    (``None`` for metrics present on only one side).
+    """
+    old_metrics = old.get("metrics", {})
+    new_metrics = new.get("metrics", {})
+    rows = []
+    for key in sorted(set(old_metrics) | set(new_metrics)):
+        a = old_metrics.get(key)
+        b = new_metrics.get(key)
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)) and a:
+            change = round((b - a) / abs(a), 4)
+        else:
+            change = None
+        rows.append({"metric": key, "old": a, "new": b, "rel_change": change})
+    return {
+        "name": new.get("name") or old.get("name"),
+        "old_rev": old.get("git_rev"),
+        "new_rev": new.get("git_rev"),
+        "old_timestamp": old.get("timestamp"),
+        "new_timestamp": new.get("timestamp"),
+        "rows": rows,
+    }
+
+
+def render_compare(diff: dict) -> str:
+    """Human-readable table for :func:`compare_bench_records` output."""
+    lines = [
+        f"bench {diff.get('name') or '?'}: "
+        f"{(diff.get('old_rev') or 'unknown')[:12]} -> "
+        f"{(diff.get('new_rev') or 'unknown')[:12]}"
+    ]
+    width = max((len(r["metric"]) for r in diff["rows"]), default=6)
+    for row in diff["rows"]:
+        old = "-" if row["old"] is None else f"{row['old']:.6g}"
+        new = "-" if row["new"] is None else f"{row['new']:.6g}"
+        if row["rel_change"] is None:
+            change = ""
+        else:
+            change = f"  ({row['rel_change']:+.1%})"
+        lines.append(f"  {row['metric']:<{width}}  {old:>12} -> {new:>12}{change}")
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Per-job profiling hooks behind ``--profile cprofile|sample``.
+
+Both profilers share one contract: ``start()`` / ``stop()`` bracketing a
+job body, and ``top(n)`` returning aggregated hot spots as plain dicts
+that travel on the trace as a ``profile`` event.  The engine builds one
+profiler per executed job (parent or worker process alike), so profiles
+compose with parallelism without shared state.
+
+- ``cprofile`` wraps :mod:`cProfile` — deterministic, exact call counts,
+  meaningful overhead.  Entries report cumulative and total (self) time.
+- ``sample`` is a daemon thread polling :func:`sys._current_frames` for
+  the caller's stack every few milliseconds — statistical, low overhead,
+  counts samples per ``file:line:function``.
+
+Neither is importable cost when profiling is off: :func:`make_profiler`
+returns ``None`` for mode ``None`` and the engine skips the whole path.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: Accepted ``--profile`` values.
+PROFILE_MODES = ("cprofile", "sample")
+
+#: Default sampling period for the statistical profiler (seconds).
+SAMPLE_PERIOD = 0.005
+
+
+def _short_path(path: str) -> str:
+    """Trim a source path to its last two components for readable reports."""
+    if path.startswith("<"):
+        return path
+    parts = path.replace(os.sep, "/").split("/")
+    return "/".join(parts[-2:])
+
+
+class CProfiler:
+    """Deterministic profiler over :mod:`cProfile`."""
+
+    mode = "cprofile"
+
+    def __init__(self) -> None:
+        self._profile = cProfile.Profile()
+        self._running = False
+
+    def start(self) -> None:
+        self._profile.enable()
+        self._running = True
+
+    def stop(self) -> None:
+        if self._running:
+            self._profile.disable()
+            self._running = False
+
+    def top(self, n: int = 10) -> List[dict]:
+        """Hot functions by cumulative time, as JSON-ready dicts."""
+        stats = pstats.Stats(self._profile).stats  # type: ignore[attr-defined]
+        rows = []
+        for (filename, lineno, func), (cc, nc, tt, ct, _callers) in stats.items():
+            rows.append(
+                {
+                    "function": f"{_short_path(filename)}:{lineno}:{func}",
+                    "calls": int(nc),
+                    "total_s": round(tt, 6),
+                    "cumulative_s": round(ct, 6),
+                }
+            )
+        rows.sort(key=lambda r: r["cumulative_s"], reverse=True)
+        return rows[:n]
+
+
+class SamplingProfiler:
+    """Statistical profiler: a daemon thread sampling the target's stack."""
+
+    mode = "sample"
+
+    def __init__(self, period: float = SAMPLE_PERIOD) -> None:
+        self.period = period
+        self.samples = 0
+        self._counts: Dict[Tuple[str, int, str], int] = {}
+        self._target: Optional[int] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        self._target = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.period):
+            frame = sys._current_frames().get(self._target)
+            while frame is not None:
+                code = frame.f_code
+                key = (code.co_filename, frame.f_lineno, code.co_name)
+                self._counts[key] = self._counts.get(key, 0) + 1
+                frame = frame.f_back
+            self.samples += 1
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=1.0)
+            self._thread = None
+
+    def top(self, n: int = 10) -> List[dict]:
+        """Hot frames by sample count (all stack levels, not just leaves)."""
+        rows = [
+            {
+                "function": f"{_short_path(filename)}:{lineno}:{func}",
+                "samples": count,
+                "fraction": round(count / self.samples, 4) if self.samples else 0.0,
+            }
+            for (filename, lineno, func), count in self._counts.items()
+        ]
+        rows.sort(key=lambda r: r["samples"], reverse=True)
+        return rows[:n]
+
+
+#: Union type for annotations without an ABC.
+Profiler = CProfiler
+
+
+def make_profiler(mode: Optional[str]):
+    """Build a profiler for *mode*, or ``None`` when profiling is off."""
+    if mode is None:
+        return None
+    if mode == "cprofile":
+        return CProfiler()
+    if mode == "sample":
+        return SamplingProfiler()
+    raise ValueError(f"unknown profile mode {mode!r}; expected one of {PROFILE_MODES}")
+
+
+def profile_to_event(profiler, seconds: Optional[float] = None, n: int = 10) -> dict:
+    """The ``profile`` telemetry event payload for a stopped profiler."""
+    payload = {"mode": profiler.mode, "top": profiler.top(n)}
+    if seconds is not None:
+        payload["seconds"] = round(seconds, 6)
+    return payload
+
+
+def merge_profile_events(events: List[dict], n: int = 10) -> List[dict]:
+    """Aggregate ``profile`` events from many jobs into one top-N table.
+
+    Sums the per-function figures (calls/total/cumulative for cprofile,
+    samples for sample mode) across events; mixed modes aggregate by
+    whatever numeric fields they share.
+    """
+    merged: Dict[str, dict] = {}
+    for event in events:
+        for row in event.get("top", []):
+            name = row.get("function")
+            if not isinstance(name, str):
+                continue
+            bucket = merged.setdefault(name, {"function": name})
+            for key, value in row.items():
+                if key != "function" and isinstance(value, (int, float)):
+                    bucket[key] = round(bucket.get(key, 0) + value, 6)
+    rows = list(merged.values())
+    rows.sort(
+        key=lambda r: (r.get("cumulative_s", 0.0), r.get("samples", 0)),
+        reverse=True,
+    )
+    return rows[:n]

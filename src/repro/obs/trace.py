@@ -1,0 +1,312 @@
+"""Trace loading, span-tree reconstruction and Chrome trace export.
+
+A trace is a JSONL file of telemetry events (see :mod:`repro.obs.schema`).
+This module turns the flat stream back into structure:
+
+- :func:`load_trace` — parse the file, tolerating blank lines and
+  reporting (not raising on) malformed ones;
+- :func:`build_span_tree` — pair ``span.begin`` / ``span.end`` events into
+  :class:`SpanNode` objects linked parent→children, and attribute every
+  non-span event to its enclosing node;
+- :func:`check_spans` — structural invariants of the tree (single root,
+  no orphans, no unclosed spans) as a ``VerificationReport``, the second
+  half of ``repro check-trace``;
+- :func:`to_chrome` — export to the Chrome ``trace_event`` JSON format
+  that Perfetto and ``chrome://tracing`` load directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+def load_trace(path) -> Tuple[List[dict], List[str]]:
+    """Parse a JSONL trace file.
+
+    Returns ``(events, problems)`` — malformed lines become messages in
+    *problems* rather than exceptions, so a trace truncated by a crash is
+    still analysable up to the cut.
+    """
+    events: List[dict] = []
+    problems: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: not valid JSON ({exc})")
+                continue
+            if not isinstance(event, dict):
+                problems.append(f"line {lineno}: not a JSON object")
+                continue
+            events.append(event)
+    return events, problems
+
+
+class SpanNode:
+    """One reconstructed span: timing, hierarchy and attributed events."""
+
+    __slots__ = (
+        "span_id", "name", "parent_id", "begin_t", "end_t", "seconds",
+        "fields", "parent", "children", "events",
+    )
+
+    def __init__(self, span_id: str, name: str, parent_id: Optional[str]) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.parent_id = parent_id
+        self.begin_t: Optional[float] = None
+        self.end_t: Optional[float] = None
+        self.seconds: Optional[float] = None
+        self.fields: dict = {}
+        self.parent: Optional["SpanNode"] = None
+        self.children: List["SpanNode"] = []
+        self.events: List[dict] = []
+
+    @property
+    def closed(self) -> bool:
+        return self.seconds is not None
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time spent in this span minus its direct children."""
+        total = self.seconds or 0.0
+        return max(0.0, total - sum(child.seconds or 0.0 for child in self.children))
+
+    def walk(self) -> Iterable["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanNode({self.name!r}, span={self.span_id!r}, children={len(self.children)})"
+
+
+_SPAN_META_FIELDS = ("event", "t", "name", "span", "parent", "seconds")
+
+
+class SpanTree:
+    """The reconstructed forest plus everything that didn't fit in it."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, SpanNode] = {}
+        self.roots: List[SpanNode] = []
+        #: Spans whose declared parent never appeared in the trace.
+        self.orphans: List[SpanNode] = []
+        #: ``span.end`` events with no matching ``span.begin``.
+        self.unmatched_ends: List[dict] = []
+        #: Duplicate ``span.begin`` ids (second and later occurrences).
+        self.duplicate_ids: List[str] = []
+        #: Non-span events carrying no / an unknown span id.
+        self.unattributed: List[dict] = []
+
+    def walk(self) -> Iterable[SpanNode]:
+        for root in self.roots:
+            yield from root.walk()
+        for orphan in self.orphans:
+            yield from orphan.walk()
+
+    @property
+    def unclosed(self) -> List[SpanNode]:
+        return [node for node in self.nodes.values() if not node.closed]
+
+
+def build_span_tree(events: Iterable[dict]) -> SpanTree:
+    """Reconstruct the span forest from a flat event sequence.
+
+    Tolerant by construction: spans with a missing parent are collected as
+    ``orphans`` (still with their own subtrees), unmatched ``span.end``
+    events and duplicate ids are recorded for :func:`check_spans` to
+    report, and every non-span event is attached to the node named by its
+    ``span`` stamp when that node exists.
+    """
+    tree = SpanTree()
+    plain: List[dict] = []
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        kind = event.get("event")
+        span_id = event.get("span")
+        if kind == "span.begin" and isinstance(span_id, str):
+            if span_id in tree.nodes:
+                tree.duplicate_ids.append(span_id)
+                continue
+            node = SpanNode(span_id, str(event.get("name", "?")), event.get("parent"))
+            node.begin_t = event.get("t")
+            node.fields = {
+                k: v for k, v in event.items() if k not in _SPAN_META_FIELDS
+            }
+            tree.nodes[span_id] = node
+        elif kind == "span.end" and isinstance(span_id, str):
+            node = tree.nodes.get(span_id)
+            if node is None:
+                tree.unmatched_ends.append(event)
+                continue
+            node.end_t = event.get("t")
+            node.seconds = event.get("seconds")
+            node.fields.update(
+                {k: v for k, v in event.items() if k not in _SPAN_META_FIELDS}
+            )
+        else:
+            plain.append(event)
+    # Link the hierarchy once all begins are known (ends may arrive rounds
+    # after begins when the engine closes job spans asynchronously).
+    for node in tree.nodes.values():
+        if node.parent_id is None:
+            tree.roots.append(node)
+        else:
+            parent = tree.nodes.get(node.parent_id)
+            if parent is None:
+                tree.orphans.append(node)
+            else:
+                node.parent = parent
+                parent.children.append(node)
+    for bucket in (tree.roots, tree.orphans):
+        bucket.sort(key=lambda n: (n.begin_t is None, n.begin_t or 0.0))
+    for node in tree.nodes.values():
+        node.children.sort(key=lambda n: (n.begin_t is None, n.begin_t or 0.0))
+    # Attribute plain events to their enclosing span.
+    for event in plain:
+        span_id = event.get("span")
+        node = tree.nodes.get(span_id) if isinstance(span_id, str) else None
+        if node is None:
+            tree.unattributed.append(event)
+        else:
+            node.events.append(event)
+    return tree
+
+
+def check_spans(tree_or_events, subject: str = "trace"):
+    """Structural invariants of the span tree as a ``VerificationReport``.
+
+    Errors: orphaned spans, ``span.end`` without a begin, duplicate span
+    ids, unclosed spans, and — for a trace that has spans at all —
+    multiple roots (a healthy CLI run produces exactly one rooted tree).
+    A trace with *no* spans gets a warning, not an error: pre-obs traces
+    and bare library use are legal.
+    """
+    from ..verify.diagnostics import VerificationReport
+
+    tree = (
+        tree_or_events
+        if isinstance(tree_or_events, SpanTree)
+        else build_span_tree(tree_or_events)
+    )
+    report = VerificationReport(subject=subject)
+    if not tree.nodes:
+        report.warning("span.none", "trace contains no spans")
+        return report
+    for node in tree.orphans:
+        report.error(
+            "span.orphan",
+            f"span {node.span_id} ({node.name}) references missing parent "
+            f"{node.parent_id}",
+        )
+    for event in tree.unmatched_ends:
+        report.error(
+            "span.end-without-begin",
+            f"span.end for unknown span {event.get('span')} "
+            f"({event.get('name', '?')})",
+        )
+    for span_id in tree.duplicate_ids:
+        report.error("span.duplicate-id", f"span id {span_id} began twice")
+    for node in tree.unclosed:
+        report.error(
+            "span.unclosed",
+            f"span {node.span_id} ({node.name}) never ended",
+        )
+    if len(tree.roots) > 1:
+        names = ", ".join(f"{n.name}({n.span_id})" for n in tree.roots[:6])
+        report.error(
+            "span.multiple-roots",
+            f"expected one rooted span tree, found {len(tree.roots)} roots: {names}",
+        )
+    if report.ok:
+        report.info(
+            "span.tree",
+            f"{len(tree.nodes)} spans in a single rooted tree",
+        )
+    return report
+
+
+def to_chrome(events: Iterable[dict]) -> dict:
+    """Export a trace to Chrome ``trace_event`` JSON (Perfetto-loadable).
+
+    Closed spans become ``"X"`` (complete) events with microsecond
+    timestamps; ``metrics`` snapshots become ``"C"`` (counter) samples for
+    the scalar instruments.  Worker events are laid out on one thread row
+    per ``job`` tag so parallel jobs render as parallel tracks.
+    """
+    events = [e for e in events if isinstance(e, dict)]
+    tids: Dict[str, int] = {"main": 0}
+
+    def tid_for(event: dict) -> int:
+        job = event.get("job")
+        key = job if isinstance(job, str) else "main"
+        if key not in tids:
+            tids[key] = len(tids)
+        return tids[key]
+
+    chrome: List[dict] = []
+    tree = build_span_tree(events)
+    for node in tree.nodes.values():
+        if not node.closed or node.begin_t is None:
+            continue
+        chrome.append(
+            {
+                "name": node.name,
+                "ph": "X",
+                "ts": round(node.begin_t * 1e6, 1),
+                "dur": round((node.seconds or 0.0) * 1e6, 1),
+                "pid": 1,
+                "tid": tid_for(node.fields),
+                "args": {"span": node.span_id, **node.fields},
+            }
+        )
+    for event in events:
+        if event.get("event") != "metrics":
+            continue
+        ts = round(float(event.get("t", 0.0)) * 1e6, 1)
+        for name, snap in sorted(event.get("metrics", {}).items()):
+            if not isinstance(snap, dict) or snap.get("kind") not in ("counter", "gauge"):
+                continue
+            value = snap.get("value")
+            if not isinstance(value, (int, float)):
+                continue
+            chrome.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": tid_for(event),
+                    "args": {"value": value},
+                }
+            )
+    thread_meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": label},
+        }
+        for label, tid in sorted(tids.items(), key=lambda kv: kv[1])
+    ]
+    return {
+        "traceEvents": thread_meta + sorted(chrome, key=lambda e: e["ts"]),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome(events: Iterable[dict], path) -> dict:
+    """Serialize :func:`to_chrome` output to *path*; returns the document."""
+    document = to_chrome(events)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return document

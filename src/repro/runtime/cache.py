@@ -133,6 +133,13 @@ class ResultCache:
                 pass
             raise
         self.writes += 1
+        try:
+            size = path.stat().st_size
+        except OSError:  # pragma: no cover - racing deletion
+            size = 0
+        get_telemetry().emit(
+            "cache.put", job=spec.label(), kind=spec.kind, bytes=int(size)
+        )
         return path
 
     def clear(self, kind: Optional[str] = None) -> int:

@@ -29,6 +29,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import classify_error
+from ..obs.metrics import QUEUE_WAIT_BUCKETS
+from ..obs.profile import PROFILE_MODES, make_profiler, profile_to_event
+from ..obs.spans import attached_to, open_span, span
 from ..verify.policy import OFF, STRICT, normalize as normalize_policy
 from .cache import MISS, ResultCache
 from .spec import JobSpec, resolve_job_type
@@ -58,17 +61,57 @@ class JobOutcome:
         return self.error is None
 
 
-def _execute_job(kind: str, params: dict, seed: Optional[int]):
+def _execute_job(
+    kind: str,
+    params: dict,
+    seed: Optional[int],
+    parent_span: Optional[str] = None,
+    submitted: Optional[float] = None,
+    profile: Optional[str] = None,
+):
     """Worker-side entry point: run one job under a private telemetry.
 
-    Module-level so it pickles; returns ``(value, events, seconds)``.
+    Module-level so it pickles.  Returns a dict so the wire format can
+    grow fields without breaking unpacking:
+
+    - ``value`` / ``events`` / ``seconds`` — the result, the worker-local
+      telemetry events, and the job wall time;
+    - ``epoch`` — wall-clock creation time of the worker telemetry, so the
+      parent can rebase the events' relative timestamps onto its own
+      timeline (``offset = epoch - parent.epoch``);
+    - ``queue_wait`` — seconds between engine-side submission (the
+      ``submitted`` wall-clock) and the worker picking the job up.
+
+    ``parent_span`` roots every span the job opens under the engine-side
+    ``job`` span, even across the process boundary; passing ``None`` still
+    clears whatever span context the fork inherited.
     """
     runner = resolve_job_type(kind)
     telemetry = Telemetry()
+    queue_wait = (
+        max(0.0, time.time() - submitted) if submitted is not None else None
+    )
+    profiler = make_profiler(profile)
     start = time.perf_counter()
-    with using_telemetry(telemetry):
-        value = runner(params, seed)
-    return value, telemetry.events, time.perf_counter() - start
+    with using_telemetry(telemetry), attached_to(parent_span):
+        if profiler is not None:
+            profiler.start()
+        try:
+            value = runner(params, seed)
+        finally:
+            if profiler is not None:
+                profiler.stop()
+        seconds = time.perf_counter() - start
+        if profiler is not None:
+            telemetry.emit("profile", **profile_to_event(profiler, seconds))
+        telemetry.metrics.flush()
+    return {
+        "value": value,
+        "events": telemetry.events,
+        "seconds": seconds,
+        "queue_wait": queue_wait,
+        "epoch": telemetry.epoch,
+    }
 
 
 class JobEngine:
@@ -84,12 +127,20 @@ class JobEngine:
         backoff: float = 0.05,
         base_seed: int = 0,
         verify: str = OFF,
+        profile: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if profile is not None and profile not in PROFILE_MODES:
+            raise ValueError(
+                f"profile must be one of {PROFILE_MODES} or None, got {profile!r}"
+            )
         self.jobs = jobs
+        #: Per-job profiling mode (``"cprofile"`` | ``"sample"`` | ``None``);
+        #: each executed job emits one ``profile`` event when set.
+        self.profile = profile
         self.cache = cache
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self.timeout = timeout
@@ -111,58 +162,65 @@ class JobEngine:
         telemetry = self.telemetry
         started = time.perf_counter()
         outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+        metrics = telemetry.metrics
 
-        # The cache reports invalid entries via the *active* telemetry, so
-        # install the engine's for the lookup phase.
-        with using_telemetry(telemetry):
-            for index, spec in enumerate(specs):
-                if self.cache is None:
+        with span("engine", telemetry, jobs=self.jobs):
+            # The cache reports invalid entries via the *active* telemetry,
+            # so install the engine's for the lookup phase.
+            with using_telemetry(telemetry):
+                for index, spec in enumerate(specs):
+                    if self.cache is None:
+                        continue
+                    value = self.cache.get(spec)
+                    if value is not MISS and self.verify != OFF:
+                        invalid = self._validate_value(spec, value, source="cache")
+                        if invalid is not None:
+                            # A semantically invalid entry is as bad as a
+                            # corrupt one: drop it and recompute instead of
+                            # tabulating it.
+                            self.cache.invalidate(spec)
+                            value = MISS
+                    if value is not MISS:
+                        outcomes[index] = JobOutcome(spec=spec, value=value, cached=True)
+                        telemetry.count("cache.hits")
+                        metrics.counter("cache.hits").inc()
+                        telemetry.emit("job.cached", job=spec.label(), kind=spec.kind)
+                    else:
+                        telemetry.count("cache.misses")
+                        metrics.counter("cache.misses").inc()
+
+            pending = [i for i, outcome in enumerate(outcomes) if outcome is None]
+            telemetry.emit(
+                "engine.start",
+                jobs=self.jobs,
+                total=len(specs),
+                cached=len(specs) - len(pending),
+                pending=len(pending),
+            )
+
+            if self.jobs > 1 and len(pending) > 1:
+                pending = self._run_parallel(specs, pending, outcomes)
+            for index in pending:
+                outcomes[index] = self._run_serial(specs[index])
+
+            failures = 0
+            for outcome in outcomes:
+                if not outcome.ok:
+                    failures += 1
                     continue
-                value = self.cache.get(spec)
-                if value is not MISS and self.verify != OFF:
-                    invalid = self._validate_value(spec, value, source="cache")
-                    if invalid is not None:
-                        # A semantically invalid entry is as bad as a corrupt
-                        # one: drop it and recompute instead of tabulating it.
-                        self.cache.invalidate(spec)
-                        value = MISS
-                if value is not MISS:
-                    outcomes[index] = JobOutcome(spec=spec, value=value, cached=True)
-                    telemetry.count("cache.hits")
-                    telemetry.emit("job.cached", job=spec.label(), kind=spec.kind)
-                else:
-                    telemetry.count("cache.misses")
-
-        pending = [i for i, outcome in enumerate(outcomes) if outcome is None]
-        telemetry.emit(
-            "engine.start",
-            jobs=self.jobs,
-            total=len(specs),
-            cached=len(specs) - len(pending),
-            pending=len(pending),
-        )
-
-        if self.jobs > 1 and len(pending) > 1:
-            pending = self._run_parallel(specs, pending, outcomes)
-        for index in pending:
-            outcomes[index] = self._run_serial(specs[index])
-
-        failures = 0
-        for outcome in outcomes:
-            if not outcome.ok:
-                failures += 1
-                continue
-            if self.cache is not None and not outcome.cached:
-                self.cache.put(outcome.spec, outcome.value)
-        telemetry.count("jobs.total", len(specs))
-        telemetry.count("jobs.failed", failures)
-        telemetry.emit(
-            "engine.end",
-            total=len(specs),
-            failures=failures,
-            seconds=round(time.perf_counter() - started, 6),
-            **(self.cache.stats if self.cache is not None else {}),
-        )
+                if self.cache is not None and not outcome.cached:
+                    with using_telemetry(telemetry):
+                        self.cache.put(outcome.spec, outcome.value)
+            telemetry.count("jobs.total", len(specs))
+            telemetry.count("jobs.failed", failures)
+            metrics.flush()
+            telemetry.emit(
+                "engine.end",
+                total=len(specs),
+                failures=failures,
+                seconds=round(time.perf_counter() - started, 6),
+                **(self.cache.stats if self.cache is not None else {}),
+            )
         return outcomes
 
     def run_one(self, spec: JobSpec) -> JobOutcome:
@@ -207,46 +265,60 @@ class JobEngine:
         last_error = "never ran"
         last_class: Optional[str] = None
         attempts = 0
-        for round_ in range(self.retries + 1):
-            attempts = round_ + 1
-            if round_:
-                time.sleep(self.backoff * (2 ** (round_ - 1)))
-                telemetry.count("jobs.retried")
-            start = time.perf_counter()
-            try:
-                with using_telemetry(telemetry):
-                    value = runner(dict(spec.params), seed)
-            except (KeyboardInterrupt, SystemExit):
-                # Control flow, not a job failure: never swallow, never retry.
-                raise
-            except Exception as exc:  # noqa: BLE001 - jobs may fail arbitrarily
-                last_error = f"{type(exc).__name__}: {exc}"
-                last_class = classify_error(exc)
+        with span("job", telemetry, job=spec.label(), kind=spec.kind):
+            for round_ in range(self.retries + 1):
+                attempts = round_ + 1
+                if round_:
+                    time.sleep(self.backoff * (2 ** (round_ - 1)))
+                    telemetry.count("jobs.retried")
+                    telemetry.metrics.counter("engine.retries").inc()
+                profiler = make_profiler(self.profile)
+                start = time.perf_counter()
+                try:
+                    with using_telemetry(telemetry):
+                        if profiler is not None:
+                            profiler.start()
+                        try:
+                            value = runner(dict(spec.params), seed)
+                        finally:
+                            if profiler is not None:
+                                profiler.stop()
+                except (KeyboardInterrupt, SystemExit):
+                    # Control flow, not a job failure: never swallow, never retry.
+                    raise
+                except Exception as exc:  # noqa: BLE001 - jobs may fail arbitrarily
+                    last_error = f"{type(exc).__name__}: {exc}"
+                    last_class = classify_error(exc)
+                    telemetry.emit(
+                        "job.error", job=spec.label(), kind=spec.kind,
+                        error=last_error, error_class=last_class,
+                        traceback=traceback.format_exc(), attempt=round_ + 1,
+                    )
+                    continue
+                seconds = time.perf_counter() - start
+                if profiler is not None:
+                    telemetry.emit(
+                        "profile", job=spec.label(),
+                        **profile_to_event(profiler, seconds),
+                    )
+                invalid = self._validate_value(spec, value, source="serial")
+                if invalid is not None:
+                    last_error, last_class = invalid, "verification"
+                    if self.verify == STRICT:
+                        # strict: an invalid result is a verdict, not a flake.
+                        break
+                    continue
                 telemetry.emit(
-                    "job.error", job=spec.label(), kind=spec.kind,
-                    error=last_error, error_class=last_class,
-                    traceback=traceback.format_exc(), attempt=round_ + 1,
+                    "job.done", job=spec.label(), kind=spec.kind,
+                    seconds=round(seconds, 6), attempts=round_ + 1, mode="serial",
                 )
-                continue
-            seconds = time.perf_counter() - start
-            invalid = self._validate_value(spec, value, source="serial")
-            if invalid is not None:
-                last_error, last_class = invalid, "verification"
-                if self.verify == STRICT:
-                    # strict: an invalid result is a verdict, not a flake.
-                    break
-                continue
+                return JobOutcome(
+                    spec=spec, value=value, attempts=round_ + 1, seconds=seconds
+                )
             telemetry.emit(
-                "job.done", job=spec.label(), kind=spec.kind,
-                seconds=round(seconds, 6), attempts=round_ + 1, mode="serial",
+                "job.failed", job=spec.label(), kind=spec.kind,
+                error=last_error, error_class=last_class,
             )
-            return JobOutcome(
-                spec=spec, value=value, attempts=round_ + 1, seconds=seconds
-            )
-        telemetry.emit(
-            "job.failed", job=spec.label(), kind=spec.kind,
-            error=last_error, error_class=last_class,
-        )
         return JobOutcome(
             spec=spec, error=last_error, error_class=last_class,
             attempts=attempts,
@@ -266,6 +338,8 @@ class JobEngine:
         (non-empty only when the pool broke underneath us).
         """
         telemetry = self.telemetry
+        metrics = telemetry.metrics
+        wait_histogram = metrics.histogram("engine.queue_wait", QUEUE_WAIT_BUCKETS)
         pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(indexes)))
         degraded = False
         try:
@@ -275,91 +349,132 @@ class JobEngine:
             for round_ in range(self.retries + 1):
                 if round_:
                     time.sleep(self.backoff * (2 ** (round_ - 1)))
-                futures = {
-                    i: pool.submit(
+                futures = {}
+                handles = {}
+                for i in remaining:
+                    # One engine-side span per submission; its id travels to
+                    # the worker, which roots the job's own spans under it.
+                    handle = open_span(
+                        "job", telemetry, job=specs[i].label(), kind=specs[i].kind
+                    )
+                    handles[i] = handle
+                    futures[i] = pool.submit(
                         _execute_job,
                         specs[i].kind,
                         dict(specs[i].params),
                         specs[i].derived_seed(self.base_seed),
+                        handle.span_id if handle is not None else None,
+                        time.time(),
+                        self.profile,
                     )
-                    for i in remaining
-                }
                 failed: List[int] = []
                 for i, future in futures.items():
                     spec = specs[i]
+                    handle = handles.pop(i)
+                    status = "error"
                     try:
-                        value, events, seconds = future.result(timeout=self.timeout)
-                    except FutureTimeout:
-                        future.cancel()
-                        outcomes[i] = JobOutcome(
-                            spec=spec,
-                            error=f"timed out after {self.timeout}s",
-                            error_class="timeout",
-                            attempts=round_ + 1,
-                        )
-                        telemetry.count("jobs.timeout")
-                        telemetry.emit(
-                            "job.timeout", job=spec.label(), kind=spec.kind,
-                            timeout=self.timeout,
-                        )
-                    except (KeyboardInterrupt, SystemExit):
-                        # Control flow, not a job failure: never swallow.
-                        raise
-                    except BrokenProcessPool:
-                        degraded = True
-                        break
-                    except Exception as exc:  # noqa: BLE001
-                        failed.append(i)
-                        errors[i] = f"{type(exc).__name__}: {exc}"
-                        classes[i] = classify_error(exc)
-                        telemetry.emit(
-                            "job.error", job=spec.label(), kind=spec.kind,
-                            error=errors[i], error_class=classes[i],
-                            traceback="".join(
-                                traceback.format_exception(
-                                    type(exc), exc, exc.__traceback__
-                                )
-                            ),
-                            attempt=round_ + 1,
-                        )
-                    else:
-                        telemetry.ingest(events, job=spec.label())
-                        invalid = self._validate_value(spec, value, source="pool")
-                        if invalid is not None:
-                            errors[i], classes[i] = invalid, "verification"
-                            if self.verify == STRICT:
-                                outcomes[i] = JobOutcome(
-                                    spec=spec, error=invalid,
-                                    error_class="verification",
-                                    attempts=round_ + 1,
-                                )
-                                telemetry.emit(
-                                    "job.failed", job=spec.label(),
-                                    kind=spec.kind, error=invalid,
-                                    error_class="verification",
-                                )
-                            else:
-                                # repair: recompute like any other failure.
-                                failed.append(i)
-                            continue
-                        telemetry.emit(
-                            "job.done", job=spec.label(), kind=spec.kind,
-                            seconds=round(seconds, 6), attempts=round_ + 1,
-                            mode="pool",
-                        )
-                        outcomes[i] = JobOutcome(
-                            spec=spec, value=value,
-                            attempts=round_ + 1, seconds=seconds,
-                        )
+                        try:
+                            result = future.result(timeout=self.timeout)
+                            value = result["value"]
+                            seconds = result["seconds"]
+                        except FutureTimeout:
+                            future.cancel()
+                            status = "timeout"
+                            outcomes[i] = JobOutcome(
+                                spec=spec,
+                                error=f"timed out after {self.timeout}s",
+                                error_class="timeout",
+                                attempts=round_ + 1,
+                            )
+                            telemetry.count("jobs.timeout")
+                            telemetry.emit(
+                                "job.timeout", job=spec.label(), kind=spec.kind,
+                                timeout=self.timeout,
+                            )
+                        except (KeyboardInterrupt, SystemExit):
+                            # Control flow, not a job failure: never swallow.
+                            raise
+                        except BrokenProcessPool:
+                            degraded = True
+                            break
+                        except Exception as exc:  # noqa: BLE001
+                            status = "retry"
+                            failed.append(i)
+                            errors[i] = f"{type(exc).__name__}: {exc}"
+                            classes[i] = classify_error(exc)
+                            telemetry.emit(
+                                "job.error", job=spec.label(), kind=spec.kind,
+                                error=errors[i], error_class=classes[i],
+                                traceback="".join(
+                                    traceback.format_exception(
+                                        type(exc), exc, exc.__traceback__
+                                    )
+                                ),
+                                attempt=round_ + 1,
+                            )
+                        else:
+                            # Rebase the worker's relative timestamps onto
+                            # this telemetry's timeline via the wall-clock
+                            # epochs, then re-emit under the job's label.
+                            telemetry.ingest(
+                                result["events"],
+                                offset=result["epoch"] - telemetry.epoch,
+                                job=spec.label(),
+                            )
+                            queue_wait = result["queue_wait"]
+                            if queue_wait is not None:
+                                wait_histogram.record(queue_wait)
+                            invalid = self._validate_value(spec, value, source="pool")
+                            if invalid is not None:
+                                errors[i], classes[i] = invalid, "verification"
+                                if self.verify == STRICT:
+                                    status = "invalid"
+                                    outcomes[i] = JobOutcome(
+                                        spec=spec, error=invalid,
+                                        error_class="verification",
+                                        attempts=round_ + 1,
+                                    )
+                                    telemetry.emit(
+                                        "job.failed", job=spec.label(),
+                                        kind=spec.kind, error=invalid,
+                                        error_class="verification",
+                                    )
+                                else:
+                                    # repair: recompute like any other failure.
+                                    status = "retry"
+                                    failed.append(i)
+                                continue
+                            status = "ok"
+                            done_fields = {}
+                            if queue_wait is not None:
+                                done_fields["queue_wait"] = round(queue_wait, 6)
+                            telemetry.emit(
+                                "job.done", job=spec.label(), kind=spec.kind,
+                                seconds=round(seconds, 6), attempts=round_ + 1,
+                                mode="pool", **done_fields,
+                            )
+                            outcomes[i] = JobOutcome(
+                                spec=spec, value=value,
+                                attempts=round_ + 1, seconds=seconds,
+                            )
+                    finally:
+                        if handle is not None:
+                            handle.close(status="degraded" if degraded else status)
                 if degraded:
                     break
                 if not failed:
                     return []
                 telemetry.count("jobs.retried", len(failed))
+                metrics.counter("engine.retries").inc(len(failed))
                 remaining = failed
             if degraded:
+                # Close the spans of jobs whose futures we never consumed.
+                for handle in handles.values():
+                    if handle is not None:
+                        handle.close(status="degraded")
                 unresolved = [i for i in indexes if outcomes[i] is None]
                 telemetry.count("engine.degraded")
+                metrics.counter("engine.worker_restarts").inc()
                 telemetry.emit(
                     "engine.degraded",
                     reason="worker process died",

@@ -54,6 +54,7 @@ def _sa_params(params: dict):
 @register_job_type("table2_cell")
 def run_table2_cell(params: dict, seed: Optional[int]):
     """One Table-2 cell: one assigner on one Table-1 circuit."""
+    from ..obs.spans import span
     from ..routing import (
         max_density_of_design,
         route_design,
@@ -62,8 +63,10 @@ def run_table2_cell(params: dict, seed: Optional[int]):
 
     design = _build_circuit_design(params)
     assigner = _make_assigner(params["assigner"])
-    assignments = assigner.assign_design(design, seed=seed)
-    routed = route_design(assignments)
+    with span("flow.assign", assigner=assigner.name, design=design.name):
+        assignments = assigner.assign_design(design, seed=seed)
+    with span("flow.route", design=design.name):
+        routed = route_design(assignments)
     return {
         "circuit": design.name,
         "assigner": assigner.name,
@@ -115,8 +118,10 @@ def run_codesign(params: dict, seed: Optional[int]):
 def run_fig6_job(params: dict, seed: Optional[int]):
     """The Fig.-6 real-chip IR-drop comparison (three pad plans)."""
     from ..circuits import run_fig6
+    from ..obs.spans import span
 
-    result = run_fig6(seed=seed, grid_size=int(params.get("grid", 40)))
+    with span("flow.fig6"):
+        result = run_fig6(seed=seed, grid_size=int(params.get("grid", 40)))
     return {
         "random_mv": result.random_mv,
         "regular_mv": result.regular_mv,

@@ -12,6 +12,14 @@ which returns a no-op singleton unless a caller installed a real one via
 ``using_telemetry(...)``.  Worker processes collect events locally and the
 engine re-emits them in the parent, so a trace file is always written from
 a single process.
+
+The higher-level observability layer (:mod:`repro.obs`) builds on the
+primitives kept here: the ambient *span* context variable (every emitted
+event is stamped with the id of the enclosing span, see
+:mod:`repro.obs.spans`), the ``epoch`` wall-clock anchor that lets the
+engine rebase worker-relative timestamps onto the parent timeline, and the
+per-telemetry :class:`~repro.obs.metrics.MetricsRegistry` reachable as
+``telemetry.metrics``.
 """
 
 from __future__ import annotations
@@ -21,7 +29,18 @@ import os
 import threading
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Callable, Dict, Iterable, List, Optional
+
+#: The ambient span id (see :mod:`repro.obs.spans`).  Lives here, not in
+#: ``repro.obs``, so that :meth:`Telemetry.emit` can stamp events without
+#: importing the observability layer.
+_SPAN: ContextVar[Optional[str]] = ContextVar("repro_span", default=None)
+
+
+def current_span_id() -> Optional[str]:
+    """Id of the innermost active span, or ``None`` outside any span."""
+    return _SPAN.get()
 
 
 class Telemetry:
@@ -33,14 +52,28 @@ class Telemetry:
         self._sink = sink
         self._lock = threading.Lock()
         self._start = time.perf_counter()
+        #: Wall-clock time of creation; lets a parent process rebase the
+        #: relative ``t`` of events collected under a *different* Telemetry
+        #: (``ingest(offset=child.epoch - parent.epoch)``).
+        self.epoch = time.time()
         self.events: List[dict] = []
         self.counters: Dict[str, float] = {}
+        self._metrics = None
 
     # -- events ------------------------------------------------------------
 
-    def emit(self, name: str, **fields) -> dict:
-        """Record one event; ``t`` is seconds since this object's creation."""
-        event = {"event": name, "t": round(time.perf_counter() - self._start, 6)}
+    def emit(self, event_name: str, **fields) -> dict:
+        """Record one event; ``t`` is seconds since this object's creation.
+
+        Events emitted inside an active span (see :func:`repro.obs.spans.span`)
+        are stamped with its id as ``span`` unless the caller supplies one.
+        (The positional parameter is deliberately *not* called ``name`` —
+        span events carry a ``name`` field of their own.)
+        """
+        event = {"event": event_name, "t": round(time.perf_counter() - self._start, 6)}
+        span_id = _SPAN.get()
+        if span_id is not None:
+            event["span"] = span_id
         event.update(fields)
         with self._lock:
             self.events.append(event)
@@ -48,10 +81,17 @@ class Telemetry:
             self._sink(event)
         return event
 
-    def ingest(self, events: Iterable[dict], **extra) -> None:
-        """Re-emit events collected elsewhere (e.g. in a worker process)."""
+    def ingest(self, events: Iterable[dict], offset: float = 0.0, **extra) -> None:
+        """Re-emit events collected elsewhere (e.g. in a worker process).
+
+        ``offset`` (seconds) is added to each event's ``t``, rebasing
+        timestamps recorded against another telemetry's start onto this
+        one's timeline (pass ``child.epoch - self.epoch``).
+        """
         for event in events:
             merged = dict(event)
+            if offset and isinstance(merged.get("t"), (int, float)):
+                merged["t"] = round(merged["t"] + offset, 6)
             merged.update(extra)
             with self._lock:
                 self.events.append(merged)
@@ -84,16 +124,32 @@ class Telemetry:
         with self._lock:
             return dict(self.counters)
 
+    # -- metrics registry --------------------------------------------------
+
+    @property
+    def metrics(self):
+        """This telemetry's :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Created lazily on first use; the no-op telemetry returns the null
+        registry, so instrumented code pays only an attribute lookup when
+        observability is disabled.
+        """
+        if self._metrics is None:
+            from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+            self._metrics = MetricsRegistry(self) if self.enabled else NULL_REGISTRY
+        return self._metrics
+
 
 class _NullTelemetry(Telemetry):
     """Discards everything; the default active telemetry."""
 
     enabled = False
 
-    def emit(self, name: str, **fields) -> dict:  # pragma: no cover - trivial
+    def emit(self, event_name: str, **fields) -> dict:  # pragma: no cover - trivial
         return {}
 
-    def ingest(self, events, **extra) -> None:
+    def ingest(self, events, offset: float = 0.0, **extra) -> None:
         pass
 
     def count(self, name: str, amount: float = 1) -> None:
@@ -104,32 +160,81 @@ NULL = _NullTelemetry()
 
 
 class JsonlSink:
-    """Append events to a JSONL file, one object per line."""
+    """Write events to a JSONL file, one object per line.
 
-    def __init__(self, path) -> None:
+    One sink = one trace: opening truncates any previous file at the path,
+    so a trace always holds a single run with one ``trace.meta`` stamp and
+    one rooted span tree (appending across runs would trip the
+    ``span.multiple-roots`` check and double every stats counter).
+
+    Writes are buffered: lines accumulate in memory and hit the disk every
+    ``flush_every`` events, on :meth:`flush`, and on :meth:`close` — one
+    ``write`` syscall per batch instead of one per event.  The underlying
+    file opens lazily on the first flush; ``close()`` is idempotent and a
+    finalizer flushes any tail events should an exception path skip it.
+    """
+
+    def __init__(self, path, flush_every: int = 64) -> None:
         self.path = path
+        self.flush_every = max(1, int(flush_every))
         self._lock = threading.Lock()
+        self._buffer: List[str] = []
+        self._handle = None
+        self._closed = False
         parent = os.path.dirname(os.fspath(path))
         if parent:
             os.makedirs(parent, exist_ok=True)
-        self._handle = open(path, "a", encoding="utf-8")
 
     def __call__(self, event: dict) -> None:
         line = json.dumps(event, sort_keys=True, default=str)
         with self._lock:
-            self._handle.write(line + "\n")
-            self._handle.flush()
+            if self._closed:
+                raise ValueError(f"JsonlSink({self.path}) is closed")
+            self._buffer.append(line)
+            if len(self._buffer) >= self.flush_every:
+                self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if not self._buffer:
+            return
+        if self._handle is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write("".join(line + "\n" for line in self._buffer))
+        self._handle.flush()
+        self._buffer.clear()
+
+    def flush(self) -> None:
+        """Write any buffered events to disk now."""
+        with self._lock:
+            if not self._closed:
+                self._flush_locked()
 
     def close(self) -> None:
         with self._lock:
-            if not self._handle.closed:
-                self._handle.close()
+            if self._closed:
+                return
+            try:
+                self._flush_locked()
+            finally:
+                self._closed = True
+                if self._handle is not None and not self._handle.closed:
+                    self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "JsonlSink":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 _active = NULL

@@ -34,6 +34,7 @@ from .checkers import (
     check_exchange_total,
     check_job_value,
     check_power_values,
+    check_trace_events,
 )
 from .diagnostics import (
     ERROR,
@@ -75,6 +76,7 @@ __all__ = [
     "check_exchange_total",
     "check_job_value",
     "check_power_values",
+    "check_trace_events",
     "check_workload",
     "enabled",
     "merge",

@@ -446,3 +446,20 @@ def check_job_value(
                     value=field_value,
                 )
     return report
+
+
+def check_trace_events(events, subject: str = "trace") -> VerificationReport:
+    """Validate a telemetry trace: event schema + span-tree structure.
+
+    The observability half of the verify layer (``repro check-trace``):
+    every event must match the versioned schema catalog
+    (:mod:`repro.obs.schema`) and the ``span.begin``/``span.end`` events
+    must reconstruct into a single rooted tree with no orphans and no
+    unclosed spans (:func:`repro.obs.trace.check_spans`).
+    """
+    from ..obs.schema import validate_trace
+    from ..obs.trace import check_spans
+
+    report = validate_trace(events, subject=subject)
+    report.extend(check_spans(events, subject=subject))
+    return report
