@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test check bench bench-smoke bench-kernel bench-obs report examples clean
+.PHONY: install test check bench bench-smoke bench-kernel bench-obs fuzz-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -35,6 +35,15 @@ bench-kernel:
 # (see docs/observability.md); writes results/BENCH_obs.json.
 bench-obs:
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python benchmarks/bench_obs.py
+
+# Differential-fuzz gate (~60 s, fixed seed so CI failures replay locally):
+# a 200-case campaign over every oracle, then a replay of the checked-in
+# minimized corpus (see docs/fuzzing.md).
+fuzz-smoke:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro fuzz \
+		--cases 200 --seed 0 --corpus tests/data/fuzz_corpus
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro fuzz replay \
+		--corpus tests/data/fuzz_corpus
 
 report:
 	python -m repro report --output results/REPORT.md

@@ -275,6 +275,42 @@ def _cmd_fig6(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    """Differential fuzzing: generate + check, or replay the corpus."""
+    import contextlib as _contextlib
+
+    from .fuzz import replay_corpus, run_fuzz
+    from .obs.schema import SCHEMA_VERSION
+    from .runtime import JsonlSink, Telemetry
+
+    with _contextlib.ExitStack() as stack:
+        sink = stack.enter_context(JsonlSink(args.trace)) if args.trace else None
+        telemetry = Telemetry(sink=sink)
+        telemetry.emit(
+            "trace.meta", schema=SCHEMA_VERSION, tool="repro", command="fuzz"
+        )
+        if args.action == "replay":
+            report = replay_corpus(args.corpus, telemetry=telemetry)
+        else:
+            try:
+                report = run_fuzz(
+                    cases=args.cases,
+                    seed=args.seed,
+                    oracles=args.oracle,
+                    minutes=args.minutes,
+                    corpus_dir=args.corpus,
+                    telemetry=telemetry,
+                    shrink=not args.no_shrink,
+                )
+            except KeyError as exc:
+                print(f"fuzz: {exc}", file=sys.stderr)
+                return 2
+        print(report.render())
+        if args.trace:
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        return 0 if report.ok else 1
+
+
 def _load(path):
     from .io import load_design
 
@@ -534,6 +570,49 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("design")
     pd.set_defaults(func=_cmd_drc)
 
+    from .fuzz.oracles import ORACLES
+
+    pf = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing across the redundant oracles",
+    )
+    pf.add_argument(
+        "action",
+        nargs="?",
+        default="run",
+        choices=("run", "replay"),
+        help="run a campaign or replay the minimized corpus (default: run)",
+    )
+    pf.add_argument(
+        "--cases", type=_positive_int, default=100, help="cases to generate"
+    )
+    pf.add_argument(
+        "--minutes",
+        type=float,
+        default=None,
+        help="wall-clock budget; stops early even with cases remaining",
+    )
+    pf.add_argument(
+        "--oracle",
+        action="append",
+        choices=sorted(ORACLES),
+        default=None,
+        help="restrict to this oracle (repeatable; default: all)",
+    )
+    pf.add_argument("--seed", type=int, default=0, help="case-stream seed")
+    pf.add_argument(
+        "--corpus",
+        default="tests/data/fuzz_corpus",
+        help="corpus directory for minimized failures / replay",
+    )
+    pf.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="record failures without delta-debugging them first",
+    )
+    pf.add_argument("--trace", default=None, help="write a JSONL telemetry trace here")
+    pf.set_defaults(func=_cmd_fuzz)
+
     pp = sub.add_parser("report", help="regenerate the whole evaluation")
     pp.add_argument("--output", default="results/REPORT.md")
     pp.add_argument("--seed", type=int, default=7)
@@ -546,17 +625,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _drain_broken_pipe() -> int:
+    """Downstream closed our stdout (``repro ... | head``): normal pipeline
+    behaviour, not an error.  Point stdout at devnull so the interpreter's
+    exit-time flush cannot raise a second time."""
+    try:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    except (OSError, ValueError, AttributeError):
+        # stdout may be detached, already closed, or a file-less object
+        # (tests swap in StringIO-like stand-ins).
+        pass
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return args.func(args)
+        status = args.func(args)
+        # Flush while the handler can still see the failure: with a
+        # block-buffered stdout (the default when piping) a closed pipe
+        # only surfaces at the interpreter's exit-time flush, outside any
+        # try — so every subcommand, not just stats, must drain here.
+        sys.stdout.flush()
+        return status
     except BrokenPipeError:
-        # `repro stats trace | head` closes our stdout mid-print; that is
-        # normal pipeline behaviour, not an error.  Point stdout at devnull
-        # so the interpreter's exit-time flush does not raise again.
-        devnull = os.open(os.devnull, os.O_WRONLY)
-        os.dup2(devnull, sys.stdout.fileno())
-        return 0
+        return _drain_broken_pipe()
 
 
 if __name__ == "__main__":  # pragma: no cover

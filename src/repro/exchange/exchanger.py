@@ -74,6 +74,7 @@ class FingerPadExchanger:
         polish_passes: int = 20,
         backend: str = "auto",
         incremental: Optional[bool] = None,
+        wl_resync_interval: Optional[int] = None,
     ) -> None:
         self.design = design
         self.weights = weights or CostWeights()
@@ -84,6 +85,10 @@ class FingerPadExchanger:
         self.track_all_rows = track_all_rows
         self.split_networks = split_networks
         self.polish_passes = polish_passes
+        #: Array-backend wirelength resync cadence override (None = the
+        #: kernel's default); the fuzzer pins tiny values so short anneals
+        #: still cross resync boundaries.
+        self.wl_resync_interval = wl_resync_interval
         if incremental is not None:
             warnings.warn(
                 "FingerPadExchanger(incremental=...) is deprecated; pass "
@@ -127,6 +132,7 @@ class FingerPadExchanger:
                 track_all_rows=self.track_all_rows,
                 split_networks=self.split_networks,
                 power_only=self.power_only,
+                wl_resync_interval=self.wl_resync_interval,
             )
         annealer = SimulatedAnnealer(self.params)
         anneal_started = time.perf_counter()

@@ -1,0 +1,38 @@
+"""Engine job types backing the ``engine`` oracle.
+
+``fuzz_probe`` is deliberately tiny but *seed-sensitive*: it randomly
+assigns a generated design and reports density/wirelength plus the seed it
+actually consumed.  Any engine-level seed or cache defect — a seedless
+spec deriving different seeds serially vs in a pool, or a cache serving a
+value computed under a different effective seed — shows up as a value
+mismatch the oracle can point at.
+
+Registered lazily via the ``fuzz_`` prefix hook in
+:func:`repro.runtime.spec.resolve_job_type`, so specs resolve inside
+fresh pool workers without the fuzzer imported anywhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.spec import register_job_type
+
+
+@register_job_type("fuzz_probe")
+def run_fuzz_probe(params: dict, seed: Optional[int]):
+    """Random-assign one generated design; value depends on *seed*."""
+    from ..assign import RandomAssigner
+    from ..circuits import build_design
+    from ..circuits.spec import CircuitSpec
+    from ..routing import max_density_of_design, total_flyline_length_of_design
+
+    spec = CircuitSpec(**params["spec"])
+    design = build_design(spec, seed=int(params.get("design_seed", 0)))
+    assignments = RandomAssigner().assign_design(design, seed=seed)
+    return {
+        "circuit": spec.name,
+        "max_density": max_density_of_design(assignments),
+        "flyline_length": total_flyline_length_of_design(assignments),
+        "seed": seed,
+    }

@@ -1,0 +1,302 @@
+"""Differential oracles: redundant implementations disagreeing = a bug.
+
+Each oracle is ``oracle(case) -> List[str]`` — an empty list means the
+case passed; each string is one observed divergence.  A case the oracle
+cannot evaluate *for a reason the library documents* (a typed
+:class:`~repro.errors.ReproError` raised identically on every code path)
+raises :class:`SkippedCase` instead; inconsistent errors — one backend
+raising where another succeeds — are divergences, never skips.
+
+Oracles
+-------
+``density``
+    IFA vs DFA max-density parity: DFA (density-first by construction)
+    must never route denser than IFA on the same design.
+``legality``
+    Every emitted assignment — Random, IFA, DFA — must satisfy the
+    monotonic rule *and* route through the real
+    :class:`~repro.routing.MonotonicRouter`.
+``backends``
+    Object vs array vs exact exchange backends under a shared seed must
+    produce the identical accept/reject trace, final orders, and Eq.-3
+    cost breakdowns — each additionally cross-checked against
+    ``verify.check_exchange_total``'s from-scratch re-derivation.
+``engine``
+    Serial vs ``jobs=2`` and cached vs fresh :class:`JobEngine` runs must
+    agree value-for-value, including across engines with different
+    ``base_seed`` sharing one cache (the seed=None poisoning this oracle
+    caught; see ``tests/data/fuzz_corpus/``).
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+from typing import Callable, Dict, List
+
+from ..errors import ReproError
+from .gen import FuzzCase
+
+#: Relative tolerance for cross-backend float comparisons; matches
+#: ``verify.FASTCOST_RTOL`` (the backends are algebraically identical).
+BACKEND_RTOL = 1e-9
+
+
+class SkippedCase(Exception):
+    """The case is degenerate in a *consistently typed* documented way."""
+
+
+def _build_design(case: FuzzCase):
+    try:
+        return case.build_design()
+    except ReproError as exc:
+        raise SkippedCase(f"{type(exc).__name__}: {exc}") from exc
+
+
+def _close(a: float, b: float) -> bool:
+    if not (math.isfinite(a) and math.isfinite(b)):
+        return False
+    return abs(a - b) <= BACKEND_RTOL * max(abs(a), abs(b), 1.0)
+
+
+# -- density ---------------------------------------------------------------
+
+
+def oracle_density(case: FuzzCase) -> List[str]:
+    from ..assign import DFAAssigner, IFAAssigner
+    from ..routing import max_density_of_design
+
+    design = _build_design(case)
+    problems: List[str] = []
+    densities = {}
+    for name, assigner in (("IFA", IFAAssigner()), ("DFA", DFAAssigner())):
+        try:
+            assignments = assigner.assign_design(design, seed=case.run_seed)
+        except ReproError as exc:
+            problems.append(f"{name} raised on a buildable design: "
+                            f"{type(exc).__name__}: {exc}")
+            continue
+        density = max_density_of_design(assignments)
+        if not isinstance(density, int) or density < 0:
+            problems.append(f"{name} max density is not a count: {density!r}")
+        densities[name] = density
+    if len(densities) == 2 and densities["DFA"] > densities["IFA"]:
+        problems.append(
+            f"DFA max density {densities['DFA']} exceeds IFA's "
+            f"{densities['IFA']} (density-first must not lose to "
+            f"interleaving-first)"
+        )
+    return problems
+
+
+# -- legality --------------------------------------------------------------
+
+
+def oracle_legality(case: FuzzCase) -> List[str]:
+    from ..assign import DFAAssigner, IFAAssigner, RandomAssigner, check_legal
+    from ..routing import MonotonicRouter
+    from ..verify import check_assignments
+
+    design = _build_design(case)
+    router = MonotonicRouter()
+    problems: List[str] = []
+    for name, assigner in (
+        ("Random", RandomAssigner()),
+        ("IFA", IFAAssigner()),
+        ("DFA", DFAAssigner()),
+    ):
+        try:
+            assignments = assigner.assign_design(design, seed=case.run_seed)
+        except ReproError as exc:
+            problems.append(f"{name} raised on a buildable design: "
+                            f"{type(exc).__name__}: {exc}")
+            continue
+        report = check_assignments(design, assignments, deep=False)
+        if not report.ok:
+            problems.extend(
+                f"{name}: {diagnostic}" for diagnostic in report.errors[:3]
+            )
+        for side, assignment in assignments.items():
+            try:
+                check_legal(assignment)
+                router.route(assignment)
+            except ReproError as exc:
+                problems.append(
+                    f"{name} {side.value}: emitted assignment does not "
+                    f"route monotonically: {type(exc).__name__}: {exc}"
+                )
+    return problems
+
+
+# -- exchange backends -----------------------------------------------------
+
+_BACKENDS = ("object", "array", "exact")
+
+
+def _run_backend(case: FuzzCase, design, baseline, backend: str):
+    from ..exchange import FingerPadExchanger
+
+    exchanger = FingerPadExchanger(
+        design,
+        weights=case.cost_weights(),
+        params=case.sa_params(),
+        track_all_rows=case.track_all_rows,
+        split_networks=case.split_networks,
+        polish_passes=2,
+        backend=backend,
+        wl_resync_interval=case.wl_resync_interval,
+    )
+    return exchanger.run(baseline, seed=case.run_seed)
+
+
+def oracle_backends(case: FuzzCase) -> List[str]:
+    from ..assign import DFAAssigner
+    from ..verify import check_exchange_total
+
+    design = _build_design(case)
+    try:
+        baseline = DFAAssigner().assign_design(design, seed=case.run_seed)
+    except ReproError as exc:
+        raise SkippedCase(f"{type(exc).__name__}: {exc}") from exc
+
+    results: Dict[str, object] = {}
+    errors: Dict[str, str] = {}
+    for backend in _BACKENDS:
+        try:
+            results[backend] = _run_backend(case, design, baseline, backend)
+        except ReproError as exc:
+            errors[backend] = type(exc).__name__
+    if errors and results:
+        return [
+            f"backends disagree on feasibility: "
+            f"{sorted(results)} succeeded, {errors} raised"
+        ]
+    if errors:
+        kinds = set(errors.values())
+        if len(kinds) > 1:
+            return [f"backends raised different error types: {errors}"]
+        raise SkippedCase(f"all backends raised {kinds.pop()}")
+
+    problems: List[str] = []
+    reference = results["object"]
+    for backend in ("array", "exact"):
+        other = results[backend]
+        for fld in ("proposed", "accepted", "accepted_uphill"):
+            if getattr(other.stats, fld) != getattr(reference.stats, fld):
+                problems.append(
+                    f"{backend} vs object: stats.{fld} "
+                    f"{getattr(other.stats, fld)} != "
+                    f"{getattr(reference.stats, fld)} (trace divergence)"
+                )
+        for side in reference.after:
+            if other.after[side].order != reference.after[side].order:
+                problems.append(
+                    f"{backend} vs object: final order differs on "
+                    f"{side.value}"
+                )
+        for term, value in reference.cost_breakdown_after.items():
+            if not _close(other.cost_breakdown_after.get(term, math.nan), value):
+                problems.append(
+                    f"{backend} vs object: cost term {term!r} "
+                    f"{other.cost_breakdown_after.get(term)!r} != {value!r}"
+                )
+        if other.omega_after != reference.omega_after:
+            problems.append(
+                f"{backend} vs object: omega {other.omega_after} != "
+                f"{reference.omega_after}"
+            )
+    for backend, result in results.items():
+        report = check_exchange_total(
+            design,
+            result.before,
+            result.after,
+            result.cost_breakdown_after["total"],
+            weights=case.cost_weights(),
+            split_networks=case.split_networks,
+            track_all_rows=case.track_all_rows,
+        )
+        if not report.ok:
+            problems.extend(
+                f"{backend}: {diagnostic}" for diagnostic in report.errors[:3]
+            )
+    return problems
+
+
+# -- engine ----------------------------------------------------------------
+
+
+def _probe_specs(case: FuzzCase):
+    from ..runtime.spec import JobSpec
+
+    params = {"spec": dict(case.spec), "design_seed": case.design_seed}
+    # One pinned spec and one seedless spec: the latter must derive the
+    # same effective seed on every engine configured alike, and must NOT
+    # leak across differently-configured engines through the cache.
+    return [
+        JobSpec("fuzz_probe", params, seed=case.run_seed),
+        JobSpec("fuzz_probe", params, seed=None),
+    ]
+
+
+def _outcome_key(outcome):
+    return (outcome.value, outcome.error_class)
+
+
+def oracle_engine(case: FuzzCase) -> List[str]:
+    from ..runtime import JobEngine, ResultCache
+
+    problems: List[str] = []
+    specs = _probe_specs(case)
+
+    serial = JobEngine(jobs=1, retries=0, base_seed=0).run(specs)
+    parallel = JobEngine(jobs=2, retries=0, base_seed=0).run(specs)
+    for spec, a, b in zip(specs, serial, parallel):
+        if _outcome_key(a) != _outcome_key(b):
+            problems.append(
+                f"serial vs jobs=2 disagree on {spec.label()}: "
+                f"{_outcome_key(a)!r} != {_outcome_key(b)!r}"
+            )
+    if all(outcome.error for outcome in serial):
+        if problems:
+            return problems
+        raise SkippedCase(f"probe jobs fail uniformly: {serial[0].error}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+        cached = JobEngine(cache=ResultCache(tmp), jobs=1, retries=0,
+                           base_seed=0).run(specs)
+        replay = JobEngine(cache=ResultCache(tmp), jobs=1, retries=0,
+                           base_seed=0).run(specs)
+        for spec, a, b in zip(specs, cached, replay):
+            if not b.cached and b.ok:
+                problems.append(f"second run of {spec.label()} missed the cache")
+            if _outcome_key(a) != _outcome_key(b):
+                problems.append(
+                    f"cached vs fresh disagree on {spec.label()}: "
+                    f"{_outcome_key(b)!r} != {_outcome_key(a)!r}"
+                )
+        # A different base_seed reading the same cache directory must get
+        # the value it would compute itself, not the first writer's.
+        other_fresh = JobEngine(jobs=1, retries=0, base_seed=1).run(specs)
+        other_cached = JobEngine(cache=ResultCache(tmp), jobs=1, retries=0,
+                                 base_seed=1).run(specs)
+        for spec, fresh, served in zip(specs, other_fresh, other_cached):
+            if _outcome_key(fresh) != _outcome_key(served):
+                problems.append(
+                    f"cache poisoned across base seeds on {spec.label()}: "
+                    f"served {_outcome_key(served)!r}, should compute "
+                    f"{_outcome_key(fresh)!r}"
+                )
+    return problems
+
+
+#: Name -> oracle.  Iteration order is the default execution order.
+ORACLES: Dict[str, Callable[[FuzzCase], List[str]]] = {
+    "density": oracle_density,
+    "legality": oracle_legality,
+    "backends": oracle_backends,
+    "engine": oracle_engine,
+}
+
+#: Run oracle only on every Nth case (1 = every case).  The engine oracle
+#: spawns worker processes, so it samples.
+ORACLE_STRIDES: Dict[str, int] = {"engine": 8}

@@ -72,6 +72,7 @@ class ArrayExchangeKernel:
         split_networks: bool = False,
         power_only: Optional[bool] = None,
         max_attempts: int = 16,
+        wl_resync_interval: Optional[int] = None,
     ) -> None:
         if ir_proxy is not None:
             raise ExchangeError(
@@ -84,6 +85,14 @@ class ArrayExchangeKernel:
         self.split_networks = split_networks
         self.psi = design.stacking.tier_count
         self.max_attempts = max_attempts
+        if wl_resync_interval is not None and wl_resync_interval < 1:
+            raise ExchangeError(
+                f"wl_resync_interval must be >= 1, got {wl_resync_interval}"
+            )
+        #: None = follow the module-level ``WL_RESYNC_INTERVAL`` (read at
+        #: swap time, so tests can monkeypatch it); an int pins it per
+        #: kernel — the fuzzer uses tiny values to force drift resyncs.
+        self.wl_resync_interval = wl_resync_interval
         power_only = (self.psi == 1) if power_only is None else power_only
         self.power_only = power_only
 
@@ -388,7 +397,12 @@ class ArrayExchangeKernel:
                 - self._flyline(q, net_b, j)
             )
             self._wl_since_resync += 1
-            if self._wl_since_resync >= WL_RESYNC_INTERVAL:
+            interval = (
+                self.wl_resync_interval
+                if self.wl_resync_interval is not None
+                else WL_RESYNC_INTERVAL
+            )
+            if self._wl_since_resync >= interval:
                 self._wl_total = self._exact_wirelength()
                 self._wl_since_resync = 0
                 self.resync_count += 1

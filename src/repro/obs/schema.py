@@ -67,6 +67,11 @@ REQUIRED: Dict[str, Dict[str, tuple]] = {
     "verify.repair": {"stage": _STR, "moved": _NUM, "ok": _BOOL},
     "verify.degrade": {"stage": _STR, "fallback": _STR},
     "experiment.seed": {"seconds": _NUM, "seed": _NUM},
+    "fuzz.begin": {"cases": _NUM, "oracles": _LIST, "seed": _NUM},
+    "fuzz.failure": {"oracle": _STR, "case": _STR, "problems": _LIST},
+    "fuzz.shrink": {"oracle": _STR, "case": _STR, "evals": _NUM},
+    "fuzz.end": {"cases": _NUM, "failures": _NUM, "skipped": _NUM,
+                 "seconds": _NUM, "cases_per_s": _NUM},
 }
 
 #: Optional fields per event (on top of the always-optional ``span`` /

@@ -26,7 +26,7 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import classify_error
 from ..obs.metrics import QUEUE_WAIT_BUCKETS
@@ -41,6 +41,20 @@ try:  # BrokenProcessPool moved around across Python versions
     from concurrent.futures.process import BrokenProcessPool
 except ImportError:  # pragma: no cover
     BrokenProcessPool = OSError
+
+
+@dataclass
+class _PoolProgress:
+    """Per-job retry budget already spent in the pool before it degraded.
+
+    ``attempts`` counts only *confirmed* pool executions (futures whose
+    failure we observed); a future in flight when the pool died may or may
+    not have run, so it is not charged against the budget.
+    """
+
+    attempts: int = 0
+    error: Optional[str] = None
+    error_class: Optional[str] = None
 
 
 @dataclass
@@ -156,9 +170,30 @@ class JobEngine:
 
     # -- public ------------------------------------------------------------
 
+    def _effective_spec(self, spec: JobSpec) -> JobSpec:
+        """Pin a seedless spec to the seed it will actually execute with.
+
+        A ``seed=None`` spec runs under ``derived_seed(base_seed)`` — a
+        value that depends on this engine's configuration — while its
+        content digest said nothing about it.  Two engines with different
+        ``base_seed`` would then exchange results through the cache even
+        though they compute different values (the first writer poisons
+        every later reader).  Resolving the effective seed into the spec
+        *before* the cache lookup makes the digest describe the actual
+        computation; specs that already carry a seed are untouched, so
+        established cache entries stay valid.
+        """
+        if spec.seed is not None:
+            return spec
+        return JobSpec(spec.kind, spec.params, seed=spec.derived_seed(self.base_seed))
+
     def run(self, specs: Sequence[JobSpec]) -> List[JobOutcome]:
-        """Execute *specs*; the outcome list matches the input order."""
-        specs = list(specs)
+        """Execute *specs*; the outcome list matches the input order.
+
+        Seedless specs are normalized first (see :meth:`_effective_spec`),
+        so the outcomes' ``spec`` fields carry the pinned seed.
+        """
+        specs = [self._effective_spec(spec) for spec in specs]
         telemetry = self.telemetry
         started = time.perf_counter()
         outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
@@ -198,10 +233,17 @@ class JobEngine:
                 pending=len(pending),
             )
 
+            carry: Dict[int, _PoolProgress] = {}
             if self.jobs > 1 and len(pending) > 1:
-                pending = self._run_parallel(specs, pending, outcomes)
+                pending, carry = self._run_parallel(specs, pending, outcomes)
             for index in pending:
-                outcomes[index] = self._run_serial(specs[index])
+                progress = carry.get(index, _PoolProgress())
+                outcomes[index] = self._run_serial(
+                    specs[index],
+                    attempts_used=progress.attempts,
+                    last_error=progress.error,
+                    last_class=progress.error_class,
+                )
 
             failures = 0
             for outcome in outcomes:
@@ -256,17 +298,41 @@ class JobEngine:
 
     # -- serial ------------------------------------------------------------
 
-    def _run_serial(self, spec: JobSpec) -> JobOutcome:
+    def _run_serial(
+        self,
+        spec: JobSpec,
+        attempts_used: int = 0,
+        last_error: Optional[str] = None,
+        last_class: Optional[str] = None,
+    ) -> JobOutcome:
         """In-process execution with the retry policy (no timeout: a hung
-        job in-process cannot be interrupted portably)."""
+        job in-process cannot be interrupted portably).
+
+        ``attempts_used`` is the retry budget already spent before this
+        call (pool attempts that failed before the pool degraded); the
+        serial rounds resume from there instead of granting a fresh
+        budget.  When the budget is already exhausted the job fails
+        immediately with the carried-over ``last_error``/``last_class``.
+        """
         telemetry = self.telemetry
+        if attempts_used > self.retries:
+            telemetry.emit(
+                "job.failed", job=spec.label(), kind=spec.kind,
+                error=last_error or "retry budget exhausted in pool",
+                error_class=last_class,
+            )
+            return JobOutcome(
+                spec=spec,
+                error=last_error or "retry budget exhausted in pool",
+                error_class=last_class,
+                attempts=attempts_used,
+            )
         runner = resolve_job_type(spec.kind)
         seed = spec.derived_seed(self.base_seed)
-        last_error = "never ran"
-        last_class: Optional[str] = None
-        attempts = 0
+        last_error = last_error or "never ran"
+        attempts = attempts_used
         with span("job", telemetry, job=spec.label(), kind=spec.kind):
-            for round_ in range(self.retries + 1):
+            for round_ in range(attempts_used, self.retries + 1):
                 attempts = round_ + 1
                 if round_:
                     time.sleep(self.backoff * (2 ** (round_ - 1)))
@@ -331,11 +397,14 @@ class JobEngine:
         specs: Sequence[JobSpec],
         indexes: List[int],
         outcomes: List[Optional[JobOutcome]],
-    ) -> List[int]:
+    ) -> Tuple[List[int], Dict[int, _PoolProgress]]:
         """Pool execution for *indexes*; fills ``outcomes`` in place.
 
-        Returns the indexes that must fall back to serial execution
-        (non-empty only when the pool broke underneath us).
+        Returns ``(unresolved, progress)``: the indexes that must fall
+        back to serial execution (non-empty only when the pool broke
+        underneath us) and, per unresolved index, the retry budget it
+        already spent in the pool so the serial fallback resumes rather
+        than restarts it.
         """
         telemetry = self.telemetry
         metrics = telemetry.metrics
@@ -348,7 +417,12 @@ class JobEngine:
             classes: Dict[int, str] = {}
             for round_ in range(self.retries + 1):
                 if round_:
+                    # Book the retries when they happen (round start), not
+                    # when failures are collected: the final round's
+                    # failures are terminal, never retried.
                     time.sleep(self.backoff * (2 ** (round_ - 1)))
+                    telemetry.count("jobs.retried", len(remaining))
+                    metrics.counter("engine.retries").inc(len(remaining))
                 futures = {}
                 handles = {}
                 for i in remaining:
@@ -398,7 +472,7 @@ class JobEngine:
                             degraded = True
                             break
                         except Exception as exc:  # noqa: BLE001
-                            status = "retry"
+                            status = "retry" if round_ < self.retries else "error"
                             failed.append(i)
                             errors[i] = f"{type(exc).__name__}: {exc}"
                             classes[i] = classify_error(exc)
@@ -441,7 +515,10 @@ class JobEngine:
                                     )
                                 else:
                                     # repair: recompute like any other failure.
-                                    status = "retry"
+                                    status = (
+                                        "retry" if round_ < self.retries
+                                        else "invalid"
+                                    )
                                     failed.append(i)
                                 continue
                             status = "ok"
@@ -463,9 +540,7 @@ class JobEngine:
                 if degraded:
                     break
                 if not failed:
-                    return []
-                telemetry.count("jobs.retried", len(failed))
-                metrics.counter("engine.retries").inc(len(failed))
+                    return [], {}
                 remaining = failed
             if degraded:
                 # Close the spans of jobs whose futures we never consumed.
@@ -480,7 +555,15 @@ class JobEngine:
                     reason="worker process died",
                     unresolved=len(unresolved),
                 )
-                return unresolved
+                progress = {
+                    i: _PoolProgress(
+                        attempts=round_ + 1 if i in failed else round_,
+                        error=errors.get(i),
+                        error_class=classes.get(i),
+                    )
+                    for i in unresolved
+                }
+                return unresolved, progress
             # Retry rounds exhausted: the survivors of `remaining` failed.
             for i in remaining:
                 spec = specs[i]
@@ -493,7 +576,7 @@ class JobEngine:
                     "job.failed", job=spec.label(), kind=spec.kind,
                     error=error, error_class=classes.get(i),
                 )
-            return []
+            return [], {}
         finally:
             # wait=False: a worker stuck past its timeout must not block us.
             pool.shutdown(wait=False, cancel_futures=True)

@@ -101,6 +101,9 @@ def resolve_job_type(name: str) -> Callable:
         # Fault-injection jobs live with the verify subsystem; importing it
         # here lets chaos specs resolve inside fresh pool workers too.
         from ..verify import chaos  # noqa: F401
+    if name not in _REGISTRY and name.startswith("fuzz_"):
+        # Same pattern for the differential fuzzer's probe jobs.
+        from ..fuzz import jobs as _fuzz_jobs  # noqa: F401
 
     try:
         return _REGISTRY[name]

@@ -372,6 +372,7 @@ _JOB_SCHEMAS: Dict[str, tuple] = {
         "max_ir_drop_initial", "max_ir_drop_final", "sa",
     ),
     "fig6": ("random_mv", "regular_mv", "optimized_mv"),
+    "fuzz_probe": ("circuit", "max_density", "flyline_length", "seed"),
 }
 
 #: Job-value fields that must additionally be non-negative.

@@ -82,3 +82,53 @@ class TestCommands:
     def test_unknown_method_rejected(self, design_file):
         with pytest.raises(SystemExit):
             main(["assign", design_file, "--method", "bogus"])
+
+
+class TestBrokenPipe:
+    """``repro <anything> | head`` must exit 0 — the fix lives in main(),
+    so one cheap command exercises the shared handler for all of them."""
+
+    class _ClosedPipe:
+        """Stand-in stdout whose consumer has gone away."""
+
+        def __init__(self, fail_on="write"):
+            self.fail_on = fail_on
+
+        def write(self, text):
+            if self.fail_on == "write":
+                raise BrokenPipeError(32, "Broken pipe")
+            return len(text)
+
+        def flush(self):
+            if self.fail_on == "flush":
+                raise BrokenPipeError(32, "Broken pipe")
+
+    def test_pipe_broken_mid_write_exits_zero(self, monkeypatch):
+        # Unbuffered stdout (PYTHONUNBUFFERED=1): the print itself raises.
+        monkeypatch.setattr("sys.stdout", self._ClosedPipe(fail_on="write"))
+        assert main(["table1"]) == 0
+
+    def test_pipe_broken_at_final_flush_exits_zero(self, monkeypatch):
+        # Block-buffered stdout (the default when piping): the failure only
+        # surfaces when the buffer is flushed after the command returned.
+        monkeypatch.setattr("sys.stdout", self._ClosedPipe(fail_on="flush"))
+        assert main(["table1"]) == 0
+
+    @pytest.mark.parametrize("unbuffered", ["0", "1"])
+    def test_subprocess_reader_gone(self, unbuffered, tmp_path):
+        import os
+        import subprocess
+        import sys as _sys
+
+        env = dict(os.environ)
+        env["PYTHONUNBUFFERED"] = unbuffered
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "table1"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env,
+        )
+        proc.stdout.close()  # the `| head` side hangs up immediately
+        assert proc.wait(timeout=60) == 0

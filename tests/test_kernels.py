@@ -399,3 +399,77 @@ class TestKernelSpeed:
 def test_numpy_is_available():
     """The array backend is part of this repo's supported surface."""
     assert np is not None
+
+
+class TestResyncCrossingParity:
+    """Wirelength float-drift resyncs must be invisible to the SA trace.
+
+    The kernel periodically replaces its incrementally accumulated
+    wirelength with a vectorized exact recomputation.  If the resynced
+    value ever differed enough to flip a Metropolis decision, the array
+    and object backends would diverge from that move on — so a run forced
+    across many resync boundaries must still be move-for-move identical.
+    """
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        count=st.integers(min_value=16, max_value=40),
+        seed=st.integers(min_value=0, max_value=2 ** 16),
+        tiers=st.sampled_from([1, 2, 4]),
+    )
+    def test_parity_across_resync_boundaries(self, count, seed, tiers):
+        import repro.kernels.exchange as kernel_module
+
+        design = build_design(
+            CircuitSpec(
+                f"resync{count}", count, quadrant_count=4,
+                rows_per_quadrant=2, tier_count=tiers,
+            ),
+            seed=0,
+        )
+        baseline = DFAAssigner().assign_design(design, seed=0)
+        weights = CostWeights(wirelength=1.0)
+        original = kernel_module.WL_RESYNC_INTERVAL
+        kernel_module.WL_RESYNC_INTERVAL = 5
+        try:
+            object_trace, object_orders, object_stats = run_object_backend(
+                design, baseline, FAST_SA, seed, weights=weights
+            )
+            array_trace, array_orders, array_stats, kernel = run_array_backend(
+                design, baseline, FAST_SA, seed, weights=weights
+            )
+        finally:
+            kernel_module.WL_RESYNC_INTERVAL = original
+        assert kernel.resync_count >= 2, (
+            "schedule too short to cross two resync boundaries"
+        )
+        assert array_trace == object_trace
+        assert array_orders == object_orders
+        assert array_stats.accepted == object_stats.accepted
+        exact = ExchangeCost(design, baseline, weights=weights)
+        assert kernel.cost() == pytest.approx(
+            exact.total(kernel.assignments()), rel=1e-9
+        )
+
+    def test_constructor_interval_overrides_the_global(self):
+        design = circuit_design(1, 1)
+        baseline = DFAAssigner().assign_design(design, seed=0)
+        weights = CostWeights(wirelength=1.0)
+        kernel = ArrayExchangeKernel(
+            design, baseline, weights=weights, wl_resync_interval=1
+        )
+        rng = random.Random(0)
+        applied = 0
+        for _ in range(50):
+            move = kernel.propose(rng)
+            if move is None:
+                continue
+            kernel.apply(move)
+            applied += 1
+        assert applied and kernel.resync_count == applied
+
+    def test_bad_interval_rejected(self):
+        design = circuit_design(1, 1)
+        baseline = DFAAssigner().assign_design(design, seed=0)
+        with pytest.raises(ExchangeError):
+            ArrayExchangeKernel(design, baseline, wl_resync_interval=0)

@@ -303,3 +303,109 @@ class TestRunExperiment:
                 seeds=[1],
                 engine=engine,
             )
+
+
+class TestSeedNoneCaching:
+    """A seed=None spec must not cache a value another engine config
+    cannot reproduce (the digest used to ignore the engine's base_seed
+    while the executed seed depended on it)."""
+
+    def test_cache_key_pins_the_effective_seed(self, tmp_path):
+        spec = JobSpec("echo", {"value": 1}, seed=None)
+        first = JobEngine(cache=ResultCache(tmp_path), base_seed=0).run_one(spec)
+        fresh = JobEngine(base_seed=1).run_one(spec)
+        # base_seed=1 derives a different seed, so the values must differ...
+        assert first.value != fresh.value
+        # ...and a cache shared across base seeds must serve each engine
+        # the value it would have computed, not whoever wrote first.
+        served = JobEngine(cache=ResultCache(tmp_path), base_seed=1).run_one(spec)
+        assert served.value == fresh.value
+
+    def test_same_base_seed_still_hits_the_cache(self, tmp_path):
+        spec = JobSpec("echo", {"value": 2}, seed=None)
+        cache = ResultCache(tmp_path)
+        first = JobEngine(cache=cache, base_seed=5).run_one(spec)
+        again = JobEngine(cache=ResultCache(tmp_path), base_seed=5).run_one(spec)
+        assert again.cached
+        assert again.value == first.value
+
+    def test_outcome_spec_carries_the_pinned_seed(self):
+        spec = JobSpec("echo", {}, seed=None)
+        outcome = JobEngine(base_seed=3).run_one(spec)
+        assert outcome.spec.seed == spec.derived_seed(3)
+        assert outcome.value["seed"] == outcome.spec.seed
+
+    def test_explicit_seeds_keep_their_digest(self, tmp_path):
+        # Established cache entries for seeded specs must stay valid.
+        spec = JobSpec("echo", {"value": 3}, seed=11)
+        outcome = JobEngine(cache=ResultCache(tmp_path), base_seed=9).run_one(spec)
+        assert outcome.spec is spec
+        assert outcome.spec.digest() == spec.digest()
+
+
+class TestRetryAccounting:
+    """The retry loop must not book the final (never retried) round as a
+    retry, and a degraded job must resume with its remaining budget."""
+
+    def test_parallel_retry_counter_excludes_the_final_round(self, tmp_path):
+        telemetry = Telemetry()
+        specs = [
+            JobSpec("flaky", {"marker": str(tmp_path / f"m{i}"), "fail_times": 99})
+            for i in range(2)
+        ]
+        outcomes = JobEngine(
+            jobs=2, retries=2, backoff=0.001, telemetry=telemetry
+        ).run(specs)
+        assert all(not outcome.ok for outcome in outcomes)
+        assert all(outcome.attempts == 3 for outcome in outcomes)
+        # 2 retries per job; the final round's failures are failures, not
+        # retries, so 3 rounds must book exactly 2 retries each.
+        assert telemetry.snapshot()["jobs.retried"] == 4
+
+    def test_final_attempt_span_closes_as_error_not_retry(self, tmp_path):
+        telemetry = Telemetry()
+        specs = [
+            JobSpec("flaky", {"marker": str(tmp_path / f"s{i}"), "fail_times": 99})
+            for i in range(2)
+        ]
+        JobEngine(jobs=2, retries=1, backoff=0.001, telemetry=telemetry).run(specs)
+        statuses = [
+            event.get("status")
+            for event in telemetry.events_named("span.end")
+            if event.get("name") == "job"
+        ]
+        assert statuses.count("retry") == 2
+        assert statuses.count("error") == 2
+
+    def test_degraded_serial_resumes_remaining_budget(self, tmp_path):
+        marker = tmp_path / "marker"
+        engine = JobEngine(jobs=1, retries=1, backoff=0.001)
+        spec = JobSpec("flaky", {"marker": str(marker), "fail_times": 99})
+        outcome = engine._run_serial(spec, attempts_used=1)
+        assert not outcome.ok
+        # one attempt was already spent in the pool: exactly one serial run.
+        assert os.path.getsize(marker) == 1
+        assert outcome.attempts == 2
+
+    def test_degraded_serial_exhausted_budget_runs_nothing(self, tmp_path):
+        marker = tmp_path / "marker"
+        engine = JobEngine(jobs=1, retries=1, backoff=0.001)
+        spec = JobSpec("flaky", {"marker": str(marker), "fail_times": 99})
+        outcome = engine._run_serial(
+            spec, attempts_used=2, last_error="RuntimeError: pool boom",
+            last_class="logic",
+        )
+        assert not outcome.ok
+        assert outcome.error == "RuntimeError: pool boom"
+        assert outcome.error_class == "logic"
+        assert outcome.attempts == 2
+        assert not marker.exists()
+
+    def test_degraded_serial_can_still_succeed(self, tmp_path):
+        marker = tmp_path / "marker"
+        marker.write_text("x")  # the pool attempt ran once before dying
+        engine = JobEngine(jobs=1, retries=2, backoff=0.001)
+        spec = JobSpec("flaky", {"marker": str(marker), "fail_times": 2})
+        outcome = engine._run_serial(spec, attempts_used=1)
+        assert outcome.ok
+        assert outcome.attempts == 3
