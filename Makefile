@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test check bench bench-smoke bench-kernel bench-obs fuzz-smoke report examples clean
+.PHONY: install test check bench bench-smoke bench-kernel bench-obs bench-serve serve-smoke fuzz-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -35,6 +35,21 @@ bench-kernel:
 # (see docs/observability.md); writes results/BENCH_obs.json.
 bench-obs:
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python benchmarks/bench_obs.py
+
+# Serving-layer end-to-end smoke (<60 s): start a real `repro serve`
+# subprocess on an ephemeral port, POST a co-design job, prove the
+# identical second request is served without re-executing, then SIGTERM
+# and require a clean drain with exit code 143 (see docs/serving.md).
+serve-smoke:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro.serve.smoke
+
+# Serving-layer throughput gate (<60 s): cold/hot/duplicate request mixes
+# against an in-process daemon; fails below the hot-cache req/s floor or
+# if the duplicate burst executes more than one job.  Writes
+# results/BENCH_serve.json.
+bench-serve:
+	@mkdir -p results
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python benchmarks/bench_serve.py --smoke
 
 # Differential-fuzz gate (~60 s, fixed seed so CI failures replay locally):
 # a 200-case campaign over every oracle, then a replay of the checked-in

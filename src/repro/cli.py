@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import os
+import signal as _signal
 import sys
 
 from .assign import DFAAssigner, IFAAssigner, RandomAssigner
@@ -39,6 +40,45 @@ from .routing import MonotonicRouter, max_density_of_design
 def _cmd_table1(args) -> int:
     print(render_table1())
     return 0
+
+
+class _DrainSignal(KeyboardInterrupt):
+    """SIGTERM/SIGINT during a run, carrying the signal number.
+
+    Subclasses :class:`KeyboardInterrupt` so it rides the engine's
+    control-flow path (never swallowed, never retried) out of a blocking
+    ``future.result()`` wait.
+    """
+
+    def __init__(self, signum: int) -> None:
+        self.signum = signum
+        super().__init__(f"signal {signum}")
+
+
+@contextlib.contextmanager
+def _drain_on_signal():
+    """Convert SIGTERM/SIGINT into :class:`_DrainSignal` for the block.
+
+    Lets ``repro run`` (and friends) exit ``128+signum`` after flushing
+    sinks instead of dying with a traceback; previous handlers are
+    restored on the way out.  A non-main thread (tests driving ``main()``
+    directly) cannot install handlers — the block simply runs bare.
+    """
+
+    def handler(signum, frame):
+        raise _DrainSignal(signum)
+
+    previous = {}
+    for signum in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            previous[signum] = _signal.signal(signum, handler)
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            _signal.signal(signum, old)
 
 
 def _run_workload(
@@ -105,8 +145,20 @@ def _run_workload(
             f"(jobs={jobs}, seed={seed}, cache={'on' if cache else 'off'})...",
             file=sys.stderr,
         )
-        with span("run", telemetry, workload=name):
-            outcomes = engine.run(specs)
+        try:
+            with _drain_on_signal(), span("run", telemetry, workload=name):
+                outcomes = engine.run(specs)
+        except _DrainSignal as exc:
+            # Graceful drain: release the worker pool, let the ExitStack
+            # flush/close the trace sink, and exit with the conventional
+            # 128+signum so supervisors can tell a signal from a failure.
+            engine.close()
+            print(
+                f"interrupted by signal {exc.signum}; "
+                f"trace flushed, exiting {128 + exc.signum}",
+                file=sys.stderr,
+            )
+            return 128 + exc.signum
         failures = [outcome for outcome in outcomes if not outcome.ok]
         if failures:
             for outcome in failures:
@@ -309,6 +361,29 @@ def _cmd_fuzz(args) -> int:
         if args.trace:
             print(f"trace written to {args.trace}", file=sys.stderr)
         return 0 if report.ok else 1
+
+
+def _cmd_serve(args) -> int:
+    """Run the long-running co-design daemon (see docs/serving.md)."""
+    from .serve import ServeConfig, serve_main
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
+        max_cache_bytes=args.max_cache_bytes,
+        queue_limit=args.queue_limit,
+        batch_window=args.batch_window,
+        batch_max=args.batch_max,
+        timeout=args.timeout,
+        retries=args.retries,
+        verify=args.verify,
+        trace=args.trace,
+        drain_deadline=args.drain_deadline,
+    )
+    return serve_main(config)
 
 
 def _load(path):
@@ -612,6 +687,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pf.add_argument("--trace", default=None, help="write a JSONL telemetry trace here")
     pf.set_defaults(func=_cmd_fuzz)
+
+    ps = sub.add_parser(
+        "serve", help="run the co-design daemon (HTTP + SSE; docs/serving.md)"
+    )
+    ps.add_argument("--host", default="127.0.0.1", help="bind address")
+    ps.add_argument(
+        "--port", type=int, default=8642, help="TCP port (0 = ephemeral)"
+    )
+    ps.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="warm worker processes (1 = run jobs in the dispatcher)",
+    )
+    ps.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve/store results in the digest-keyed disk cache",
+    )
+    ps.add_argument(
+        "--cache-dir", default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    ps.add_argument(
+        "--max-cache-bytes", type=int, default=None,
+        help="LRU-evict the cache past this size "
+             "(default: $REPRO_CACHE_MAX_BYTES or unbounded)",
+    )
+    ps.add_argument(
+        "--queue-limit", type=_positive_int, default=64,
+        help="pending jobs beyond this are rejected with HTTP 429",
+    )
+    ps.add_argument(
+        "--batch-window", type=float, default=0.01,
+        help="seconds to coalesce distinct requests into one engine batch",
+    )
+    ps.add_argument(
+        "--batch-max", type=_positive_int, default=16,
+        help="max requests per engine batch",
+    )
+    ps.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+    ps.add_argument(
+        "--retries", type=int, default=1, help="retry attempts for failing jobs"
+    )
+    ps.add_argument(
+        "--trace", default=None, help="write a JSONL telemetry trace here"
+    )
+    ps.add_argument(
+        "--drain-deadline", type=float, default=10.0,
+        help="seconds SIGTERM waits for in-flight jobs before giving up",
+    )
+    _add_verify_flag(ps)
+    ps.set_defaults(func=_cmd_serve)
 
     pp = sub.add_parser("report", help="regenerate the whole evaluation")
     pp.add_argument("--output", default="results/REPORT.md")

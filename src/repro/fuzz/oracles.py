@@ -289,14 +289,118 @@ def oracle_engine(case: FuzzCase) -> List[str]:
     return problems
 
 
+# -- serve -----------------------------------------------------------------
+
+
+def _serve_params(case: FuzzCase) -> dict:
+    """The ``design_run`` params a case maps to on the wire."""
+    params = {
+        "spec": dict(case.spec),
+        "design_seed": case.design_seed,
+        "grid": 16,
+    }
+    for key in ("initial_temp", "final_temp", "cooling", "moves_per_temp"):
+        if key in case.sa:
+            params[key] = case.sa[key]
+    return params
+
+
+def oracle_serve(case: FuzzCase) -> List[str]:
+    """HTTP round-trip parity: daemon envelope == direct ``design_run``.
+
+    The generated case is posted to an in-process daemon over the real
+    wire (JSON request -> admission -> engine -> envelope) and compared
+    against invoking the ``design_run`` runner directly: same value on
+    success, consistently-typed failure otherwise.  Also asserts the wire
+    validator accepts every payload this mapping can generate.
+    """
+    from ..runtime.spec import resolve_job_type
+    from ..serve import ServeClient, ServeConfig, ServeHandle
+    from ..serve.wire import WIRE_SCHEMA_VERSION, validate_request
+
+    params = _serve_params(case)
+    payload = {
+        "schema": WIRE_SCHEMA_VERSION,
+        "kind": "design_run",
+        "params": params,
+        "seed": case.run_seed,
+    }
+    problems = [
+        f"wire validator rejects a generated payload: {code}: {message}"
+        for code, message in validate_request(payload)
+    ]
+    if problems:
+        return problems
+
+    runner = resolve_job_type("design_run")
+    direct_value = None
+    direct_error: str = ""
+    try:
+        direct_value = runner(dict(params), case.run_seed)
+    except ReproError as exc:
+        direct_error = type(exc).__name__
+    except Exception as exc:  # noqa: BLE001 - untyped crash is itself a bug
+        return [
+            f"design_run raised an untyped error directly: "
+            f"{type(exc).__name__}: {exc}"
+        ]
+
+    # cache=False so the daemon *executes* (parity, not replay); workers=1
+    # runs the job in the dispatcher thread — no pool per sampled case.
+    config = ServeConfig(
+        port=0, workers=1, cache=False, batch_window=0.0, announce=False
+    )
+    with ServeHandle(config) as handle:
+        client = ServeClient(port=handle.port, timeout=600.0)
+        status, envelope = client.submit(
+            "design_run", params, seed=case.run_seed, raise_on_error=False
+        )
+    if status != 200:
+        return [
+            f"daemon returned HTTP {status} for a valid submit: {envelope}"
+        ]
+    if envelope.get("schema") != WIRE_SCHEMA_VERSION:
+        problems.append(
+            f"envelope schema {envelope.get('schema')!r} != "
+            f"{WIRE_SCHEMA_VERSION}"
+        )
+    if direct_error:
+        if envelope.get("status") != "failed":
+            problems.append(
+                f"direct call raised {direct_error} but the daemon served "
+                f"status {envelope.get('status')!r}"
+            )
+        elif direct_error not in (envelope.get("error") or ""):
+            problems.append(
+                f"failure types diverge: direct {direct_error}, served "
+                f"{envelope.get('error')!r}"
+            )
+        if problems:
+            return problems
+        raise SkippedCase(f"design_run fails consistently: {direct_error}")
+    if envelope.get("status") != "done":
+        problems.append(
+            f"direct call succeeded but the daemon served "
+            f"{envelope.get('status')!r}: {envelope.get('error')!r}"
+        )
+    elif envelope.get("value") != direct_value:
+        problems.append(
+            "served value differs from the direct design_run value "
+            f"(digest {envelope.get('job', '')[:12]})"
+        )
+    return problems
+
+
 #: Name -> oracle.  Iteration order is the default execution order.
 ORACLES: Dict[str, Callable[[FuzzCase], List[str]]] = {
     "density": oracle_density,
     "legality": oracle_legality,
     "backends": oracle_backends,
     "engine": oracle_engine,
+    "serve": oracle_serve,
 }
 
 #: Run oracle only on every Nth case (1 = every case).  The engine oracle
-#: spawns worker processes, so it samples.
-ORACLE_STRIDES: Dict[str, int] = {"engine": 8}
+#: spawns worker processes and the serve oracle spins a daemon + a full
+#: co-design run per case, so they sample.
+ORACLE_STRIDES: Dict[str, int] = {"engine": 8, "serve": 16}

@@ -45,6 +45,7 @@ REQUIRED: Dict[str, Dict[str, tuple]] = {
     "engine.start": {"jobs": _NUM, "total": _NUM, "cached": _NUM, "pending": _NUM},
     "engine.end": {"total": _NUM, "failures": _NUM, "seconds": _NUM},
     "engine.degraded": {"reason": _STR, "unresolved": _NUM},
+    "engine.pool_start": {"workers": _NUM},
     "job.cached": {"job": _STR, "kind": _STR},
     "job.done": {"job": _STR, "kind": _STR, "seconds": _NUM, "attempts": _NUM, "mode": _STR},
     "job.error": {"job": _STR, "kind": _STR, "error": _STR, "attempt": _NUM},
@@ -53,6 +54,15 @@ REQUIRED: Dict[str, Dict[str, tuple]] = {
     "job.invalid": {"job": _STR, "kind": _STR, "source": _STR, "codes": _LIST, "error": _STR},
     "cache.invalid": {"job": _STR, "kind": _STR, "reason": _STR},
     "cache.put": {"kind": _STR, "bytes": _NUM},
+    "cache.evict": {"kind": _STR, "bytes": _NUM},
+    "serve.start": {"host": _STR, "port": _NUM, "workers": _NUM},
+    "serve.request": {"method": _STR, "path": _STR, "status": _NUM,
+                      "seconds": _NUM},
+    "serve.submit": {"job": _STR, "kind": _STR, "dedup": _BOOL},
+    "serve.batch": {"size": _NUM, "waited": _NUM},
+    "serve.reject": {"reason": _STR, "pending": _NUM},
+    "serve.drain": {"pending": _NUM, "seconds": _NUM, "clean": _BOOL},
+    "serve.stop": {"requests": _NUM, "seconds": _NUM},
     "sa.begin": {"initial_cost": _NUM, "initial_temp": _NUM, "steps": _NUM,
                  "moves_per_temp": _NUM},
     "sa.step": {"temperature": _NUM, "cost": _NUM, "acceptance": _NUM},
@@ -81,7 +91,9 @@ OPTIONAL: Dict[str, Dict[str, tuple]] = {
                    "backend": _STR, "verify": _STR, "argv": _LIST, "profile": _STR},
     "span.begin": {},
     "span.end": {"status": _STR},
-    "engine.end": {"hits": _NUM, "misses": _NUM, "writes": _NUM, "invalid": _NUM},
+    "engine.end": {"hits": _NUM, "misses": _NUM, "writes": _NUM, "invalid": _NUM,
+                   "evicted": _NUM},
+    "serve.submit": {"wait": _BOOL},
     "job.done": {"queue_wait": _NUM},
     "job.error": {"error_class": _STR, "traceback": _STR},
     "job.failed": {"error_class": _OPT_STR},

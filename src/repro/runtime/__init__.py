@@ -27,7 +27,7 @@ them a shared execution engine:
 therefore loaded lazily (the registry resolves them on first use).
 """
 
-from .cache import MISS, ResultCache, default_cache_dir
+from .cache import MISS, ResultCache, default_cache_dir, default_max_bytes
 from .engine import JobEngine, JobOutcome
 from .spec import (
     CACHE_SCHEMA_VERSION,
@@ -54,6 +54,7 @@ __all__ = [
     "ResultCache",
     "Telemetry",
     "default_cache_dir",
+    "default_max_bytes",
     "get_telemetry",
     "job_types",
     "register_job_type",

@@ -14,6 +14,17 @@ parse, carry the current schema version and a payload digest equal to the
 requesting spec's digest — a truncated, garbled, swapped or stale entry
 reads as a miss (re-run), is deleted, and emits a ``cache.invalid``
 telemetry event naming the reason.
+
+The cache can be bounded: ``ResultCache(max_bytes=...)`` (or
+``$REPRO_CACHE_MAX_BYTES``) caps the total on-disk size.  Every put that
+pushes the tree over the cap evicts least-recently-used entries (mtime
+order; hits touch the entry, so reads refresh recency) until it fits
+again, never evicting the entry just written.  Evictions emit
+``cache.evict`` telemetry and the ``evicted`` stat counts them — the
+invariant a long-running daemon needs to not fill its disk.  Eviction is
+safe against concurrent readers: a reader that loses the race observes an
+ordinary miss (``FileNotFoundError``), never a torn file, because writes
+only ever ``os.replace`` complete documents.
 """
 
 from __future__ import annotations
@@ -48,15 +59,42 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
-class ResultCache:
-    """Get/put job values by spec digest, with hit/miss/write counters."""
+def default_max_bytes() -> Optional[int]:
+    """The ``$REPRO_CACHE_MAX_BYTES`` cap, or ``None`` (unbounded)."""
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(
+            f"$REPRO_CACHE_MAX_BYTES must be an integer byte count, got {env!r}"
+        ) from None
+    return value if value > 0 else None
 
-    def __init__(self, root=None) -> None:
+
+class ResultCache:
+    """Get/put job values by spec digest, with hit/miss/write counters.
+
+    ``max_bytes`` bounds the total on-disk size (LRU eviction on put);
+    ``None`` falls back to ``$REPRO_CACHE_MAX_BYTES``, and an unset
+    environment means unbounded (the historical behaviour).
+    """
+
+    def __init__(self, root=None, max_bytes: Optional[int] = None) -> None:
         self.root = Path(root).expanduser() if root else default_cache_dir()
+        self.max_bytes = max_bytes if max_bytes is not None else default_max_bytes()
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {self.max_bytes}")
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.invalid = 0
+        self.evicted = 0
+        #: Running size estimate maintained by this process's puts; the
+        #: authoritative number is re-scanned whenever eviction triggers,
+        #: so concurrent writers in other processes are eventually seen.
+        self._approx_bytes: Optional[int] = None
 
     def path_for(self, spec: JobSpec) -> Path:
         digest = spec.digest()
@@ -79,6 +117,11 @@ class ResultCache:
         if payload.get("digest") != spec.digest():
             return self._reject(spec, path, "digest-mismatch")
         self.hits += 1
+        try:
+            # Touch the entry so LRU eviction sees reads, not just writes.
+            os.utime(path)
+        except OSError:  # pragma: no cover - racing eviction/deletion
+            pass
         return payload["value"]
 
     def _reject(self, spec: JobSpec, path: Path, reason: str):
@@ -140,7 +183,69 @@ class ResultCache:
         get_telemetry().emit(
             "cache.put", job=spec.label(), kind=spec.kind, bytes=int(size)
         )
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self._scan_bytes()
+            else:
+                self._approx_bytes += int(size)
+            if self._approx_bytes > self.max_bytes:
+                self._evict(keep=path)
         return path
+
+    # -- eviction ----------------------------------------------------------
+
+    def _scan_bytes(self) -> int:
+        total = 0
+        if self.root.is_dir():
+            for entry in self.root.rglob("*.json"):
+                try:
+                    total += entry.stat().st_size
+                except OSError:
+                    pass
+        return total
+
+    def _evict(self, keep: Optional[Path] = None) -> int:
+        """Drop least-recently-used entries until the tree fits ``max_bytes``.
+
+        *keep* (the entry just written) is never a victim — evicting what
+        the caller is about to return would make every bounded put a
+        self-defeating miss.  Returns the number of entries removed.
+        Rescans the tree first so entries written by other processes
+        sharing the directory are accounted and evictable too.
+        """
+        entries = []
+        total = 0
+        for entry in self.root.rglob("*.json"):
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            total += stat.st_size
+            entries.append((stat.st_mtime, stat.st_size, entry))
+        removed = 0
+        if total > self.max_bytes:
+            entries.sort(key=lambda item: item[0])
+            for _mtime, size, entry in entries:
+                if total <= self.max_bytes:
+                    break
+                if keep is not None and entry == keep:
+                    continue
+                try:
+                    entry.unlink()
+                except OSError:
+                    # Another process beat us to it; its bytes are gone
+                    # either way.
+                    total -= size
+                    continue
+                total -= size
+                removed += 1
+                self.evicted += 1
+                get_telemetry().emit(
+                    "cache.evict", kind=entry.parent.parent.name, bytes=int(size)
+                )
+                get_telemetry().count("cache.evicted")
+        self._approx_bytes = total
+        return removed
 
     def clear(self, kind: Optional[str] = None) -> int:
         """Delete entries (all, or one kind); returns the number removed."""
@@ -153,6 +258,7 @@ class ResultCache:
                     removed += 1
                 except OSError:
                     pass
+        self._approx_bytes = None
         return removed
 
     @property
@@ -162,4 +268,5 @@ class ResultCache:
             "misses": self.misses,
             "writes": self.writes,
             "invalid": self.invalid,
+            "evicted": self.evicted,
         }

@@ -12,6 +12,15 @@ Execution policy, in order:
 5. a dead worker (``BrokenProcessPool``) degrades every unresolved job to
    serial in-process execution rather than failing the run.
 
+Long-running callers (the ``repro.serve`` daemon) construct the engine
+with ``warm=True``: the process pool is created once, its workers pre-pay
+the heavy imports (NumPy, the flow/kernel layers) in an initializer, and
+every subsequent :meth:`JobEngine.run` reuses it — amortizing process
+spawn + module import across requests.  A warm pool that breaks is
+discarded (the run degrades to serial as usual) and the next run builds a
+fresh one; :meth:`JobEngine.close` (or using the engine as a context
+manager) releases the workers.
+
 Workers run the job under a private :class:`Telemetry` and ship the events
 back with the result, so SA-loop events from a subprocess appear in the
 parent's trace tagged with the job label.  Determinism: each job draws its
@@ -55,6 +64,25 @@ class _PoolProgress:
     attempts: int = 0
     error: Optional[str] = None
     error_class: Optional[str] = None
+
+
+def _warm_worker() -> None:
+    """Pool initializer for warm engines: pre-pay the heavy imports.
+
+    A cold worker spends its first job importing NumPy and the
+    flow/kernel layers; doing it at pool creation moves that cost out of
+    the first request's latency.  Import failures are deliberately
+    swallowed — a worker that cannot pre-import will surface the real
+    error when a job actually needs the module.
+    """
+    try:
+        import numpy  # noqa: F401
+
+        from .. import flow  # noqa: F401
+        from ..kernels import exchange  # noqa: F401
+        from . import jobs  # noqa: F401 - registers the built-in job types
+    except Exception:  # pragma: no cover - only on broken installs
+        pass
 
 
 @dataclass
@@ -142,6 +170,7 @@ class JobEngine:
         base_seed: int = 0,
         verify: str = OFF,
         profile: Optional[str] = None,
+        warm: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -167,6 +196,47 @@ class JobEngine:
         #: always re-checked under an active policy; an invalid entry is
         #: dropped and re-run — never served.
         self.verify = normalize_policy(verify)
+        #: Keep one process pool alive across :meth:`run` calls (daemon
+        #: mode); workers pre-import the heavy layers via ``_warm_worker``.
+        self.warm = warm
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _acquire_pool(self, needed: int) -> ProcessPoolExecutor:
+        """A pool to run *needed* jobs on: persistent when warm, else fresh."""
+        if not self.warm:
+            return ProcessPoolExecutor(max_workers=min(self.jobs, needed))
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=_warm_worker
+            )
+            self.telemetry.emit("engine.pool_start", workers=self.jobs)
+            self.telemetry.count("engine.pool_starts")
+        return self._pool
+
+    def _release_pool(self, pool: ProcessPoolExecutor, broken: bool) -> None:
+        """Return a pool after a run: warm pools persist unless broken.
+
+        ``wait=False``: a worker stuck past its timeout must not block us.
+        """
+        if self.warm and not broken and pool is self._pool:
+            return
+        if pool is self._pool:
+            self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Release the persistent warm pool, if one is alive (idempotent)."""
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "JobEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- public ------------------------------------------------------------
 
@@ -234,7 +304,10 @@ class JobEngine:
             )
 
             carry: Dict[int, _PoolProgress] = {}
-            if self.jobs > 1 and len(pending) > 1:
+            # A warm engine routes even a lone job through its persistent
+            # pool: the workers are already paid for, and keeping compute
+            # out of the calling thread is the point in daemon mode.
+            if self.jobs > 1 and (len(pending) > 1 or (self.warm and pending)):
                 pending, carry = self._run_parallel(specs, pending, outcomes)
             for index in pending:
                 progress = carry.get(index, _PoolProgress())
@@ -409,8 +482,9 @@ class JobEngine:
         telemetry = self.telemetry
         metrics = telemetry.metrics
         wait_histogram = metrics.histogram("engine.queue_wait", QUEUE_WAIT_BUCKETS)
-        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(indexes)))
+        pool = self._acquire_pool(len(indexes))
         degraded = False
+        timed_out = False
         try:
             remaining = list(indexes)
             errors: Dict[int, str] = {}
@@ -453,6 +527,9 @@ class JobEngine:
                             seconds = result["seconds"]
                         except FutureTimeout:
                             future.cancel()
+                            # The worker is still grinding on the job; a
+                            # warm pool must not inherit the busy worker.
+                            timed_out = True
                             status = "timeout"
                             outcomes[i] = JobOutcome(
                                 spec=spec,
@@ -578,5 +655,4 @@ class JobEngine:
                 )
             return [], {}
         finally:
-            # wait=False: a worker stuck past its timeout must not block us.
-            pool.shutdown(wait=False, cancel_futures=True)
+            self._release_pool(pool, broken=degraded or timed_out)

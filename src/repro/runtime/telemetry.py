@@ -6,10 +6,12 @@ The engine, the SA annealer and the experiment flow all talk to one
 also keeps an in-memory buffer plus monotonic counters so tests and the
 CLI summary can interrogate a run without parsing the trace file.
 
-A module-level *active* telemetry makes instrumentation non-invasive:
+A context-local *active* telemetry makes instrumentation non-invasive:
 deep code (the annealer's temperature loop) calls ``get_telemetry()``,
 which returns a no-op singleton unless a caller installed a real one via
-``using_telemetry(...)``.  Worker processes collect events locally and the
+``using_telemetry(...)`` in the same thread/task context (engines running
+concurrently on different threads therefore never see each other's
+telemetry).  Worker processes collect events locally and the
 engine re-emits them in the parent, so a trace file is always written from
 a single process.
 
@@ -237,29 +239,36 @@ class JsonlSink:
             pass
 
 
-_active = NULL
-_active_lock = threading.Lock()
+# Context-local, not a process global: the serving daemon runs engines on
+# background threads concurrently, and a shared global would let their
+# scoped set/restore pairs interleave — thread A restoring while thread B
+# is active leaves B's telemetry installed forever.  A ContextVar isolates
+# each thread (and each asyncio task) completely.
+_active: ContextVar[Telemetry] = ContextVar("repro_telemetry", default=NULL)
 
 
 def get_telemetry() -> Telemetry:
     """The currently active telemetry (a no-op unless one was installed)."""
-    return _active
+    return _active.get()
 
 
 def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
-    """Install *telemetry* as the active object; returns the previous one."""
-    global _active
-    with _active_lock:
-        previous = _active
-        _active = telemetry if telemetry is not None else NULL
+    """Install *telemetry* as the active object; returns the previous one.
+
+    Context-local: the installation is visible in the current thread (and
+    anything that inherits its context, e.g. ``asyncio.to_thread``), not
+    in threads started beforehand.
+    """
+    previous = _active.get()
+    _active.set(telemetry if telemetry is not None else NULL)
     return previous
 
 
 @contextmanager
 def using_telemetry(telemetry: Optional[Telemetry]):
     """Scope *telemetry* as the active object for a ``with`` block."""
-    previous = set_telemetry(telemetry)
+    token = _active.set(telemetry if telemetry is not None else NULL)
     try:
         yield telemetry
     finally:
-        set_telemetry(previous)
+        _active.reset(token)

@@ -1,0 +1,42 @@
+"""repro.serve — the long-running co-design service.
+
+Turns the batch :class:`~repro.runtime.JobEngine` into a daemon
+(``repro serve``): a stdlib asyncio HTTP front-end with a versioned JSON
+wire schema (``wire``), digest-based request dedup + micro-batching over
+a warm persistent worker pool (``daemon``/``state``), SSE progress
+streaming fed by the :mod:`repro.obs` telemetry, bounded-queue
+backpressure, and a graceful SIGTERM drain.  ``client`` is the stdlib
+HTTP client used by the smoke harness (``smoke``), the serve fuzz oracle
+and the benchmark.
+"""
+
+from .client import ServeClient, ServeClientError
+from .daemon import ServeApp, ServeConfig, ServeHandle, serve_main
+from .state import JobRecord, JobRegistry
+from .wire import (
+    MAX_BODY_BYTES,
+    WIRE_SCHEMA_VERSION,
+    SubmitRequest,
+    WireError,
+    error_body,
+    parse_request,
+    validate_request,
+)
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ServeApp",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServeHandle",
+    "SubmitRequest",
+    "JobRecord",
+    "JobRegistry",
+    "WIRE_SCHEMA_VERSION",
+    "WireError",
+    "error_body",
+    "parse_request",
+    "serve_main",
+    "validate_request",
+]

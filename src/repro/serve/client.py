@@ -1,0 +1,146 @@
+"""A stdlib HTTP client for the co-design daemon.
+
+Used by the smoke harness, the serve fuzz oracle and the benchmark —
+anything in-repo that talks to a running daemon.  It is deliberately thin:
+one :class:`http.client.HTTPConnection` per call (the daemon supports
+keep-alive, but independent connections keep concurrent benchmark threads
+trivial), JSON in/out, and a generator for the SSE stream.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterator, Optional, Tuple
+
+from ..errors import ReproError
+from .wire import WIRE_SCHEMA_VERSION
+
+
+class ServeClientError(ReproError):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, body: dict) -> None:
+        self.status = status
+        self.body = body
+        error = body.get("error", {}) if isinstance(body, dict) else {}
+        super().__init__(
+            f"HTTP {status}: {error.get('code', 'error')}: "
+            f"{error.get('message', body)}"
+        )
+
+
+class ServeClient:
+    """Talk to one daemon at ``(host, port)``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> Tuple[int, dict]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = (
+                json.dumps(payload).encode("utf-8")
+                if payload is not None
+                else None
+            )
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except ValueError:
+                decoded = {"error": {"code": "bad-response",
+                                     "message": raw.decode("utf-8", "replace")}}
+            return response.status, decoded
+        finally:
+            connection.close()
+
+    # -- endpoints ---------------------------------------------------------
+
+    def submit(self, kind: str, params: Optional[dict] = None,
+               seed: Optional[int] = None, wait: bool = True,
+               timeout: Optional[float] = None,
+               raise_on_error: bool = True) -> Tuple[int, dict]:
+        """POST one job; returns ``(http_status, envelope)``.
+
+        ``raise_on_error=True`` (the default) turns 4xx/5xx responses into
+        :class:`ServeClientError`; 200 (settled) and 202 (accepted, still
+        running) both return normally.
+        """
+        payload = {
+            "schema": WIRE_SCHEMA_VERSION,
+            "kind": kind,
+            "params": params or {},
+            "wait": wait,
+        }
+        if seed is not None:
+            payload["seed"] = seed
+        if timeout is not None:
+            payload["timeout"] = timeout
+        status, body = self._request("POST", "/v1/jobs", payload)
+        if raise_on_error and status >= 400:
+            raise ServeClientError(status, body)
+        return status, body
+
+    def status(self, digest: str) -> Tuple[int, dict]:
+        return self._request("GET", f"/v1/jobs/{digest}")
+
+    def health(self) -> dict:
+        status, body = self._request("GET", "/healthz")
+        if status != 200:
+            raise ServeClientError(status, body)
+        return body
+
+    def schema(self) -> dict:
+        status, body = self._request("GET", "/v1/schema")
+        if status != 200:
+            raise ServeClientError(status, body)
+        return body
+
+    def events(self, digest: str,
+               timeout: Optional[float] = None) -> Iterator[Tuple[str, dict]]:
+        """Stream a job's SSE events as ``(event_name, payload)`` pairs.
+
+        The stream ends when the daemon closes it (after the terminal
+        ``serve.result`` event) or the socket times out.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout if timeout is not None else self.timeout,
+        )
+        try:
+            connection.request("GET", f"/v1/jobs/{digest}/events")
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    body = json.loads(raw)
+                except ValueError:
+                    body = {}
+                raise ServeClientError(response.status, body)
+            name, data = "message", []
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\n")
+                if line.startswith("event:"):
+                    name = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data.append(line[len("data:"):].strip())
+                elif line == "" and data:
+                    try:
+                        payload = json.loads("\n".join(data))
+                    except ValueError:
+                        payload = {"raw": "\n".join(data)}
+                    yield name, payload
+                    name, data = "message", []
+        finally:
+            connection.close()

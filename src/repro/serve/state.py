@@ -1,0 +1,183 @@
+"""Daemon-side state: job records, dedup registry and the event bus.
+
+Everything here is mutated from the event loop thread only — handlers and
+the dispatcher are coroutines — with one exception: telemetry events
+arrive from the engine's worker thread, so :class:`EventBus.publish` is
+the only entry point that must be thread-safe (it trampolines onto the
+loop via ``call_soon_threadsafe``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import time
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from ..runtime.engine import JobOutcome
+from ..runtime.spec import JobSpec
+from .wire import WIRE_SCHEMA_VERSION
+
+#: Job lifecycle states, in order.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+#: Telemetry events buffered per job for SSE replay (ring buffer).
+EVENT_BUFFER = 512
+
+#: Completed records retained for result-by-digest lookups before the
+#: disk cache takes over as the source of truth.
+COMPLETED_RETAINED = 1024
+
+
+@dataclass
+class JobRecord:
+    """One admitted spec: identity, lifecycle, result and its audience."""
+
+    spec: JobSpec
+    digest: str
+    status: str = QUEUED
+    created: float = field(default_factory=time.monotonic)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    #: How many submissions this record absorbed (1 + dedup joins).
+    submissions: int = 1
+    value: object = None
+    error: Optional[str] = None
+    error_class: Optional[str] = None
+    cached: bool = False
+    attempts: int = 0
+    seconds: float = 0.0
+    #: Telemetry events attributed to this job, for SSE replay.
+    events: Deque[dict] = field(default_factory=lambda: collections.deque(maxlen=EVENT_BUFFER))
+    #: Live SSE subscribers (bounded queues; slow clients drop events).
+    subscribers: List[asyncio.Queue] = field(default_factory=list)
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def settled(self) -> bool:
+        return self.status in (DONE, FAILED)
+
+    def finish(self, outcome: JobOutcome) -> None:
+        self.status = DONE if outcome.ok else FAILED
+        self.value = outcome.value
+        self.error = outcome.error
+        self.error_class = outcome.error_class
+        self.cached = outcome.cached
+        self.attempts = outcome.attempts
+        self.seconds = outcome.seconds
+        self.finished = time.monotonic()
+        self.done_event.set()
+
+    def envelope(self, deduped: bool = False) -> dict:
+        """The wire response describing this record's current state."""
+        body = {
+            "schema": WIRE_SCHEMA_VERSION,
+            "job": self.digest,
+            "label": self.spec.label(),
+            "kind": self.spec.kind,
+            "status": self.status,
+            "cached": self.cached,
+            "deduped": deduped,
+            "attempts": self.attempts,
+            "seconds": round(self.seconds, 6),
+        }
+        if self.status == DONE:
+            body["value"] = self.value
+        if self.error is not None:
+            body["error"] = self.error
+            body["error_class"] = self.error_class
+        return body
+
+
+class JobRegistry:
+    """Digest-keyed records: in-flight jobs plus a bounded history."""
+
+    def __init__(self, retained: int = COMPLETED_RETAINED) -> None:
+        self.records: Dict[str, JobRecord] = {}
+        self._finished: Deque[str] = collections.deque()
+        self._retained = retained
+
+    def get(self, digest: str) -> Optional[JobRecord]:
+        return self.records.get(digest)
+
+    def add(self, record: JobRecord) -> None:
+        self.records[record.digest] = record
+
+    def settle(self, record: JobRecord) -> List[JobRecord]:
+        """Move a finished record into the bounded history.
+
+        Returns the records evicted from the history so the caller can
+        release anything keyed off them (the event bus's label map).
+        """
+        dropped: List[JobRecord] = []
+        self._finished.append(record.digest)
+        while len(self._finished) > self._retained:
+            victim = self._finished.popleft()
+            existing = self.records.get(victim)
+            # Only drop records that are still settled — a digest can be
+            # resubmitted and live again under the same key.
+            if existing is not None and existing.settled:
+                dropped.append(existing)
+                del self.records[victim]
+        return dropped
+
+    @property
+    def pending(self) -> int:
+        return sum(
+            1 for record in self.records.values() if not record.settled
+        )
+
+
+class EventBus:
+    """Routes telemetry events to per-job buffers and SSE subscribers.
+
+    The engine runs in a worker thread and its telemetry sink calls
+    :meth:`publish` from there; the bus hops onto the event loop so all
+    record mutation stays single-threaded.  Events are attributed via
+    their ``job`` field (the spec label the engine stamps on everything a
+    job emits, including events ingested from pool workers).
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, registry: JobRegistry) -> None:
+        self._loop = loop
+        self._registry = registry
+        #: spec label -> digest, maintained by the daemon at admission.
+        self.labels: Dict[str, str] = {}
+
+    def publish(self, event: dict) -> None:
+        """Thread-safe: accept one telemetry event from any thread."""
+        try:
+            self._loop.call_soon_threadsafe(self._dispatch, event)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    def _dispatch(self, event: dict) -> None:
+        label = event.get("job")
+        if label is None:
+            return
+        digest = self.labels.get(label)
+        if digest is None:
+            return
+        record = self._registry.get(digest)
+        if record is None:
+            return
+        record.events.append(event)
+        for queue in record.subscribers:
+            try:
+                queue.put_nowait(event)
+            except asyncio.QueueFull:
+                # A slow SSE client loses events rather than stalling the
+                # daemon; the buffered replay still has the recent tail.
+                pass
+
+    def subscribe(self, record: JobRecord, maxsize: int = 256) -> asyncio.Queue:
+        queue: asyncio.Queue = asyncio.Queue(maxsize=maxsize)
+        record.subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, record: JobRecord, queue: asyncio.Queue) -> None:
+        try:
+            record.subscribers.remove(queue)
+        except ValueError:  # pragma: no cover - double unsubscribe
+            pass

@@ -1,0 +1,172 @@
+"""The versioned JSON-over-HTTP wire schema of the co-design service.
+
+One request format, one response envelope, both stamped with
+``WIRE_SCHEMA_VERSION`` so clients and servers can detect drift the same
+way the telemetry schema does (``repro.obs.schema``): adding an optional
+field keeps the version, renaming or retyping a required one bumps it,
+and a server rejects requests stamped with a *newer* version than it
+understands.
+
+Submit request (``POST /v1/jobs``)::
+
+    {
+      "schema": 1,                  # wire version (optional, default 1)
+      "kind": "codesign",           # a registered job type
+      "params": {...},              # JobSpec params (canonical JSON)
+      "seed": 7,                    # optional; null derives per-spec
+      "wait": true,                 # block until done (default) or 202
+      "timeout": 30.0               # max seconds to wait when wait=true
+    }
+
+Response envelope (every job-related endpoint)::
+
+    {
+      "schema": 1,
+      "job": "<64-hex spec digest>",
+      "label": "codesign[abc123...]",
+      "kind": "codesign",
+      "status": "queued" | "running" | "done" | "failed",
+      "value": ...,                 # present when done
+      "error": "...",               # present when failed
+      "error_class": "...",
+      "cached": true,               # engine served it from the disk cache
+      "deduped": true,              # joined an identical in-flight job
+      "attempts": 1,
+      "seconds": 0.123
+    }
+
+Errors use ``{"schema": 1, "error": {"code": ..., "message": ...,
+"problems": [...]}}``.  Validation is exposed as ``(code, message)``
+pairs so :func:`repro.verify.check_wire_request` can lift them into a
+standard :class:`~repro.verify.diagnostics.VerificationReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Tuple
+
+from ..errors import ReproError
+from ..runtime.spec import JobSpec, _canonical
+
+#: Version stamped into every request/response; see the module docstring
+#: for the compatibility policy.
+WIRE_SCHEMA_VERSION = 1
+
+#: Most permissive request body size the daemon will read (1 MiB): a
+#: JobSpec params mapping is small; anything bigger is abuse, not a job.
+MAX_BODY_BYTES = 1 << 20
+
+
+class WireError(ReproError):
+    """A request that does not speak the wire schema."""
+
+    def __init__(self, problems: List[Tuple[str, str]]) -> None:
+        self.problems = list(problems)
+        super().__init__(
+            "; ".join(message for _code, message in self.problems)
+            or "invalid wire request"
+        )
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """A validated submit request, ready to become a :class:`JobSpec`."""
+
+    kind: str
+    params: Mapping = field(default_factory=dict)
+    seed: Optional[int] = None
+    wait: bool = True
+    timeout: Optional[float] = None
+
+    def spec(self) -> JobSpec:
+        return JobSpec(self.kind, dict(self.params), seed=self.seed)
+
+
+def validate_request(payload) -> List[Tuple[str, str]]:
+    """Problems with one submit payload as ``(code, message)`` pairs.
+
+    An empty list means :func:`parse_request` will accept it.  The codes
+    are machine-readable (``wire.*``) and double as diagnostic codes in
+    :func:`repro.verify.check_wire_request`.
+    """
+    problems: List[Tuple[str, str]] = []
+    if not isinstance(payload, dict):
+        return [("wire.not-object", "request body must be a JSON object")]
+    version = payload.get("schema", WIRE_SCHEMA_VERSION)
+    if not isinstance(version, int) or isinstance(version, bool):
+        problems.append(
+            ("wire.bad-schema", f"'schema' must be an integer, got {version!r}")
+        )
+    elif version > WIRE_SCHEMA_VERSION:
+        problems.append(
+            ("wire.schema-version",
+             f"wire schema {version} is newer than supported "
+             f"{WIRE_SCHEMA_VERSION}")
+        )
+    kind = payload.get("kind")
+    if not isinstance(kind, str) or not kind:
+        problems.append(
+            ("wire.bad-kind", "'kind' must be a non-empty job-type string")
+        )
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        problems.append(
+            ("wire.bad-params", "'params' must be a JSON object")
+        )
+    else:
+        try:
+            _canonical(params)
+        except TypeError as exc:  # pragma: no cover - json.loads precludes
+            problems.append(("wire.bad-params", f"'params' not canonical: {exc}"))
+    seed = payload.get("seed")
+    if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
+        problems.append(
+            ("wire.bad-seed", f"'seed' must be an integer or null, got {seed!r}")
+        )
+    wait = payload.get("wait", True)
+    if not isinstance(wait, bool):
+        problems.append(
+            ("wire.bad-wait", f"'wait' must be a boolean, got {wait!r}")
+        )
+    timeout = payload.get("timeout")
+    if timeout is not None and (
+        not isinstance(timeout, (int, float))
+        or isinstance(timeout, bool)
+        or timeout <= 0
+    ):
+        problems.append(
+            ("wire.bad-timeout",
+             f"'timeout' must be a positive number or null, got {timeout!r}")
+        )
+    for key in payload:
+        if key not in ("schema", "kind", "params", "seed", "wait", "timeout"):
+            problems.append(
+                ("wire.unknown-field", f"unknown request field {key!r}")
+            )
+    return problems
+
+
+def parse_request(payload) -> SubmitRequest:
+    """Validate *payload* into a :class:`SubmitRequest` (raises WireError)."""
+    problems = validate_request(payload)
+    if problems:
+        raise WireError(problems)
+    timeout = payload.get("timeout")
+    return SubmitRequest(
+        kind=payload["kind"],
+        params=dict(payload.get("params", {})),
+        seed=payload.get("seed"),
+        wait=payload.get("wait", True),
+        timeout=float(timeout) if timeout is not None else None,
+    )
+
+
+def error_body(code: str, message: str, problems=None) -> dict:
+    """The error half of the wire protocol."""
+    body = {"schema": WIRE_SCHEMA_VERSION, "error": {"code": code, "message": message}}
+    if problems:
+        body["error"]["problems"] = [
+            {"code": c, "message": m} for c, m in problems
+        ]
+    return body

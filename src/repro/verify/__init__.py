@@ -35,6 +35,7 @@ from .checkers import (
     check_job_value,
     check_power_values,
     check_trace_events,
+    check_wire_request,
 )
 from .diagnostics import (
     ERROR,
@@ -77,6 +78,7 @@ __all__ = [
     "check_job_value",
     "check_power_values",
     "check_trace_events",
+    "check_wire_request",
     "check_workload",
     "enabled",
     "merge",

@@ -464,3 +464,30 @@ def check_trace_events(events, subject: str = "trace") -> VerificationReport:
     report = validate_trace(events, subject=subject)
     report.extend(check_spans(events, subject=subject))
     return report
+
+
+def check_wire_request(payload, subject: str = "wire request") -> VerificationReport:
+    """Validate a serve wire-schema submit payload (``POST /v1/jobs``).
+
+    Lifts :func:`repro.serve.wire.validate_request`'s ``(code, message)``
+    pairs into a standard report, so the wire contract is checkable with
+    the same machinery as designs, traces and job values.  A resolvable
+    payload whose ``kind`` is not a registered job type gets a *warning*
+    (registration is lazy and deployment-dependent), not an error.
+    """
+    from ..runtime.spec import resolve_job_type
+    from ..serve.wire import validate_request
+
+    report = VerificationReport(subject=subject)
+    for code, message in validate_request(payload):
+        report.error(code, message)
+    if report.ok and isinstance(payload, dict):
+        kind = payload.get("kind")
+        try:
+            resolve_job_type(kind)
+        except KeyError:
+            report.warning(
+                "wire.unknown-kind",
+                f"job kind {kind!r} is not registered in this process",
+            )
+    return report

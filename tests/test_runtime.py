@@ -126,7 +126,9 @@ class TestResultCache:
         assert cache.get(spec) is MISS
         cache.put(spec, {"value": 42})
         assert cache.get(spec) == {"value": 42}
-        assert cache.stats == {"hits": 1, "misses": 1, "writes": 1, "invalid": 0}
+        assert cache.stats == {
+            "hits": 1, "misses": 1, "writes": 1, "invalid": 0, "evicted": 0,
+        }
 
     def test_changed_params_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -409,3 +411,64 @@ class TestRetryAccounting:
         outcome = engine._run_serial(spec, attempts_used=1)
         assert outcome.ok
         assert outcome.attempts == 3
+
+
+class TestWarmEngine:
+    """The persistent worker pool behind the serving daemon."""
+
+    def test_warm_pool_persists_across_runs(self):
+        telemetry = Telemetry()
+        engine = JobEngine(jobs=2, warm=True, telemetry=telemetry)
+        try:
+            first = engine.run([JobSpec("echo", {"value": v}, seed=v) for v in range(3)])
+            second = engine.run([JobSpec("echo", {"value": v}, seed=v) for v in range(3, 6)])
+        finally:
+            engine.close()
+        assert all(outcome.ok for outcome in first + second)
+        assert telemetry.snapshot()["engine.pool_starts"] == 1
+
+    def test_warm_routes_single_job_through_pool(self):
+        # A cold engine runs a lone job serially (no pool spin-up); a warm
+        # one keeps even singletons on its persistent pool so the serving
+        # daemon's event loop thread never computes.
+        cold_telemetry = Telemetry()
+        cold = JobEngine(jobs=2, telemetry=cold_telemetry)
+        assert cold.run([JobSpec("echo", {"value": 1}, seed=1)])[0].ok
+        assert "engine.pool_starts" not in cold_telemetry.snapshot()
+
+        warm_telemetry = Telemetry()
+        warm = JobEngine(jobs=2, warm=True, telemetry=warm_telemetry)
+        try:
+            assert warm.run([JobSpec("echo", {"value": 1}, seed=1)])[0].ok
+        finally:
+            warm.close()
+        assert warm_telemetry.snapshot()["engine.pool_starts"] == 1
+
+    def test_close_releases_and_is_idempotent(self):
+        telemetry = Telemetry()
+        engine = JobEngine(jobs=2, warm=True, telemetry=telemetry)
+        engine.run([JobSpec("echo", {"value": 1}, seed=1)])
+        engine.close()
+        engine.close()  # second close is a no-op
+        # Running again after close transparently starts a fresh pool.
+        outcome = engine.run([JobSpec("echo", {"value": 2}, seed=2)])[0]
+        engine.close()
+        assert outcome.ok
+        assert telemetry.snapshot()["engine.pool_starts"] == 2
+
+    def test_broken_warm_pool_is_discarded_not_reused(self):
+        telemetry = Telemetry()
+        engine = JobEngine(jobs=2, warm=True, retries=0, telemetry=telemetry)
+        try:
+            killed = engine.run([
+                JobSpec("worker_killer", {"parent_pid": os.getpid(), "n": n})
+                for n in range(2)
+            ])
+            assert all(outcome.ok for outcome in killed)  # serial fallback
+            assert telemetry.events_named("engine.degraded")
+            # The next run must not inherit the poisoned pool.
+            after = engine.run([JobSpec("echo", {"value": 7}, seed=7)])[0]
+        finally:
+            engine.close()
+        assert after.ok
+        assert telemetry.snapshot()["engine.pool_starts"] == 2
