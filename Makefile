@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test check bench bench-smoke bench-kernel bench-obs bench-serve serve-smoke fuzz-smoke report examples clean
+.PHONY: install test check bench bench-smoke bench-kernel bench-obs bench-serve bench-journal serve-smoke crash-smoke fuzz-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -43,6 +43,13 @@ bench-obs:
 serve-smoke:
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro.serve.smoke
 
+# kill -9 recovery smoke (<90 s): SIGKILL a journaled daemon mid-stream,
+# restart it on the same journal + cache, and require every submitted
+# digest to settle byte-identically to a crash-free reference without
+# re-executing the work that already settled (see docs/robustness.md).
+crash-smoke:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro.serve.crash_smoke
+
 # Serving-layer throughput gate (<60 s): cold/hot/duplicate request mixes
 # against an in-process daemon; fails below the hot-cache req/s floor or
 # if the duplicate burst executes more than one job.  Writes
@@ -50,6 +57,14 @@ serve-smoke:
 bench-serve:
 	@mkdir -p results
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python benchmarks/bench_serve.py --smoke
+
+# Durability overhead gate (<90 s): the journal on the hot serve path must
+# stay within 10% of the unjournaled daemon's hot req/s, and periodic SA
+# checkpointing must cost <= 5% anneal walltime.  Writes
+# results/BENCH_journal.json.
+bench-journal:
+	@mkdir -p results
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python benchmarks/bench_journal.py
 
 # Differential-fuzz gate (~60 s, fixed seed so CI failures replay locally):
 # a 200-case campaign over every oracle, then a replay of the checked-in

@@ -382,8 +382,58 @@ def _cmd_serve(args) -> int:
         verify=args.verify,
         trace=args.trace,
         drain_deadline=args.drain_deadline,
+        journal=args.journal,
     )
     return serve_main(config)
+
+
+def _cmd_journal(args) -> int:
+    """Inspect (and optionally compact) a job journal file."""
+    import json
+
+    from .errors import JournalError
+    from .runtime.journal import JobJournal
+
+    if not os.path.exists(args.path):
+        print(f"no journal at {args.path}", file=sys.stderr)
+        return 2
+    try:
+        # compact_bytes=None: inspection must never rewrite as a side
+        # effect; --compact below is the only write this command does.
+        with JobJournal(args.path, compact_bytes=None) as journal:
+            if args.compact:
+                kept = journal.compact()
+                # stderr: `--json` consumers parse stdout as one document.
+                print(f"compacted to {kept} live record(s)", file=sys.stderr)
+            summary = journal.summary()
+    except JournalError as exc:
+        print(f"journal error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"journal {summary['path']}")
+    print(f"  {summary['bytes']} bytes, seq {summary['seq']}")
+    records = summary["records"]
+    print(
+        "  records: "
+        + ", ".join(f"{name}={records[name]}" for name in sorted(records))
+    )
+    print(
+        f"  live: {summary['settled']} settled, "
+        f"{summary['inflight']} in-flight, {summary['failed']} failed"
+    )
+    diagnostics = {
+        name: count
+        for name, count in summary["diagnostics"].items()
+        if count
+    }
+    if diagnostics:
+        print(
+            "  diagnostics: "
+            + ", ".join(f"{name}={count}" for name, count in sorted(diagnostics.items()))
+        )
+    return 0
 
 
 def _load(path):
@@ -739,8 +789,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-deadline", type=float, default=10.0,
         help="seconds SIGTERM waits for in-flight jobs before giving up",
     )
+    ps.add_argument(
+        "--journal", default=None,
+        help="persistent job journal (WAL): settled results and in-flight "
+             "re-enqueues survive kill -9 (docs/robustness.md)",
+    )
     _add_verify_flag(ps)
     ps.set_defaults(func=_cmd_serve)
+
+    pj = sub.add_parser(
+        "journal",
+        help="inspect or compact a job journal (docs/robustness.md)",
+    )
+    pj.add_argument("path", help="journal file written by --journal/JobJournal")
+    pj.add_argument(
+        "--compact", action="store_true",
+        help="rewrite keeping one record per live digest",
+    )
+    pj.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
+    )
+    pj.set_defaults(func=_cmd_journal)
 
     pp = sub.add_parser("report", help="regenerate the whole evaluation")
     pp.add_argument("--output", default="results/REPORT.md")

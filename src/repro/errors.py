@@ -60,6 +60,24 @@ class FlowError(ReproError):
     """A co-design flow result was used in a way its data cannot support."""
 
 
+class JournalError(ReproError):
+    """The job journal could not be read or written."""
+
+
+class JournalCorruptionError(JournalError):
+    """A journal record *before* the final line failed to parse.
+
+    A torn final line is the expected signature of a crash mid-append and
+    is tolerated (dropped and counted); garbage in the interior means the
+    file was damaged by something other than a crash and replay refuses
+    to guess which half of the history to trust.
+    """
+
+
+class CheckpointIntegrityError(ReproError):
+    """An SA checkpoint failed its digest, schema, or run-key validation."""
+
+
 class VerificationError(ReproError):
     """One or more runtime invariants failed (see ``.diagnostics``)."""
 
@@ -74,6 +92,8 @@ class VerificationError(ReproError):
 ERROR_TAXONOMY = (
     ("verification", VerificationError),
     ("cache", CacheIntegrityError),
+    ("journal", JournalError),
+    ("checkpoint", CheckpointIntegrityError),
     ("nonfinite", NonFiniteCostError),
     ("legality", LegalityError),
     ("assignment", AssignmentError),

@@ -1,6 +1,7 @@
 """Finger/pad exchange: SA engine, Eq.-3 cost, ID tracking and bonding metric."""
 
 from .annealer import SAParams, SAStats, SimulatedAnnealer
+from .checkpoint import SACheckpointer, SimulatedCrash
 from .bonding import (
     bonding_improvement,
     group_masks,
@@ -24,10 +25,12 @@ __all__ = [
     "FingerPadExchanger",
     "GreedyExchanger",
     "MoveGenerator",
+    "SACheckpointer",
     "SAParams",
     "SAStats",
     "SectionTracker",
     "SimulatedAnnealer",
+    "SimulatedCrash",
     "SwapMove",
     "bonding_improvement",
     "group_masks",

@@ -112,7 +112,20 @@ class SimulatedAnnealer:
         cost: Callable[[], float],
         seed: Optional[int] = None,
         snapshot: Optional[Callable] = None,
+        checkpoint=None,
     ) -> SAStats:
+        """Run the schedule; optionally checkpointed for crash-safe resume.
+
+        *checkpoint* is a bound
+        :class:`~repro.exchange.checkpoint.SACheckpointer`: every
+        ``checkpoint.interval`` proposed moves the full run state (problem
+        state via ``checkpoint.capture``, rng Mersenne state, accumulated
+        temperature, mid-step counters, stats, best-so-far) is atomically
+        persisted.  When a valid checkpoint exists at start, the run
+        resumes from it and replays the exact continuation the
+        uninterrupted run would have produced — move for move, bit for
+        bit.  A completed run clears its checkpoint.
+        """
         import time
 
         from ..obs.metrics import SA_DELTA_BUCKETS
@@ -150,61 +163,138 @@ class SimulatedAnnealer:
 
         loop_started = time.perf_counter()
         temperature = params.initial_temp
+        start_move = 0
+        step_proposed = step_accepted = 0
+        resumed = False
+        if checkpoint is not None:
+            if snapshot is None or checkpoint.capture is None:
+                raise ValueError(
+                    "checkpointing requires a snapshot callable and a bound "
+                    "checkpointer (SACheckpointer.bind)"
+                )
+            payload = checkpoint.load()
+            if payload is not None:
+                # Restore in dependency order: problem state first (so the
+                # cost structures rebuild), then the exact scalar/rng state
+                # the uninterrupted run had at the moment of the save.
+                checkpoint.restore(payload["state"])
+                rng_state = payload["rng"]
+                rng.setstate((rng_state[0], tuple(rng_state[1]), rng_state[2]))
+                stats.proposed = int(payload["proposed"])
+                stats.infeasible = int(payload["infeasible"])
+                stats.accepted = int(payload["accepted"])
+                stats.accepted_uphill = int(payload["accepted_uphill"])
+                stats.nonfinite_rejected = int(payload["nonfinite_rejected"])
+                stats.initial_cost = payload["initial_cost"]
+                stats.best_cost = payload["best_cost"]
+                stats.cost_trace = list(payload["cost_trace"])
+                best = payload.get("best")
+                best_snapshot = checkpoint.decode(best) if best is not None else None
+                current_cost = payload["current_cost"]
+                temperature = payload["temperature"]
+                start_move = int(payload["move_in_step"])
+                step_proposed = int(payload["step_proposed"])
+                step_accepted = int(payload["step_accepted"])
+                resumed = True
+                telemetry.emit(
+                    "checkpoint.resumed",
+                    proposed=stats.proposed,
+                    temperature=round(temperature, 8),
+                )
+                telemetry.count("checkpoint.resumes")
+        # Hoisted out of the move loop: the cadence test runs every move,
+        # so it must cost one local int check, not two attribute loads.
+        checkpoint_interval = checkpoint.interval if checkpoint is not None else 0
         while temperature > params.final_temp:
-            step_proposed = step_accepted = 0
-            for __ in range(params.moves_per_temp):
+            if resumed:
+                # First step after a resume continues mid-step: keep the
+                # restored per-step counters and move index.
+                resumed = False
+            else:
+                step_proposed = step_accepted = 0
+            for move_index in range(start_move, params.moves_per_temp):
                 stats.proposed += 1
                 step_proposed += 1
                 move = propose(rng)
                 if move is None:
                     stats.infeasible += 1
-                    continue
-                apply(move)
-                new_cost = cost()
-                delta = new_cost - current_cost
-                if not math.isfinite(delta):
-                    # A NaN/inf delta would make `random() < exp(-delta/T)`
-                    # silently accept a poisoned state (NaN comparisons are
-                    # False, but delta <= 0 already misfires for -inf, and a
-                    # NaN new_cost corrupts every later delta).  Reject the
-                    # move, keep the last trusted state, and record it.
-                    undo(move)
-                    stats.nonfinite_rejected += 1
-                    telemetry.count("sa.nonfinite_rejected")
-                    telemetry.emit(
-                        "sa.nonfinite",
-                        cost=repr(new_cost),
-                        temperature=round(temperature, 8),
-                    )
-                    continue
-                if delta_histogram is not None:
-                    delta_histogram.record(delta)
-                # Draw the Metropolis uniform unconditionally so the rng
-                # stream advances identically for every finite applied move.
-                # With the short-circuit draw, a zero-delta move computed as
-                # 0.0 by one cost backend and +-1e-16 by another would
-                # consume different amounts of randomness and desync the
-                # backends' move sequences from that point on.
-                uniform = rng.random()
-                if delta <= 0 or uniform < math.exp(-delta / temperature):
-                    current_cost = new_cost
-                    stats.accepted += 1
-                    step_accepted += 1
-                    if delta > 0:
-                        stats.accepted_uphill += 1
-                    # Require a material improvement before re-snapshotting:
-                    # cost backends agree only to float rounding (~1e-16), so
-                    # a strict `<` would let one backend re-snapshot at an
-                    # equal-cost revisit the other skips, and the restored
-                    # "best" states would diverge.  Real Eq.-3 improvements
-                    # are orders of magnitude above this tolerance (it is the
-                    # same margin the polish stage uses).
-                    if current_cost < stats.best_cost - BEST_IMPROVEMENT_EPS:
-                        stats.best_cost = current_cost
-                        if snapshot:
-                            best_snapshot = snapshot()
                 else:
-                    undo(move)
+                    apply(move)
+                    new_cost = cost()
+                    delta = new_cost - current_cost
+                    if not math.isfinite(delta):
+                        # A NaN/inf delta would make `random() < exp(-delta/T)`
+                        # silently accept a poisoned state (NaN comparisons are
+                        # False, but delta <= 0 already misfires for -inf, and a
+                        # NaN new_cost corrupts every later delta).  Reject the
+                        # move, keep the last trusted state, and record it.
+                        undo(move)
+                        stats.nonfinite_rejected += 1
+                        telemetry.count("sa.nonfinite_rejected")
+                        telemetry.emit(
+                            "sa.nonfinite",
+                            cost=repr(new_cost),
+                            temperature=round(temperature, 8),
+                        )
+                    else:
+                        if delta_histogram is not None:
+                            delta_histogram.record(delta)
+                        # Draw the Metropolis uniform unconditionally so the rng
+                        # stream advances identically for every finite applied move.
+                        # With the short-circuit draw, a zero-delta move computed as
+                        # 0.0 by one cost backend and +-1e-16 by another would
+                        # consume different amounts of randomness and desync the
+                        # backends' move sequences from that point on.
+                        uniform = rng.random()
+                        if delta <= 0 or uniform < math.exp(-delta / temperature):
+                            current_cost = new_cost
+                            stats.accepted += 1
+                            step_accepted += 1
+                            if delta > 0:
+                                stats.accepted_uphill += 1
+                            # Require a material improvement before re-snapshotting:
+                            # cost backends agree only to float rounding (~1e-16), so
+                            # a strict `<` would let one backend re-snapshot at an
+                            # equal-cost revisit the other skips, and the restored
+                            # "best" states would diverge.  Real Eq.-3 improvements
+                            # are orders of magnitude above this tolerance (it is the
+                            # same margin the polish stage uses).
+                            if current_cost < stats.best_cost - BEST_IMPROVEMENT_EPS:
+                                stats.best_cost = current_cost
+                                if snapshot:
+                                    best_snapshot = snapshot()
+                        else:
+                            undo(move)
+                # Outside the move if/else chain — never behind a skipped
+                # path — so the cadence cannot silently miss a beat when it
+                # lands on an infeasible or non-finite move.
+                if checkpoint_interval and stats.proposed % checkpoint_interval == 0:
+                    rng_state = rng.getstate()
+                    checkpoint.save(
+                        {
+                            "proposed": stats.proposed,
+                            "infeasible": stats.infeasible,
+                            "accepted": stats.accepted,
+                            "accepted_uphill": stats.accepted_uphill,
+                            "nonfinite_rejected": stats.nonfinite_rejected,
+                            "initial_cost": stats.initial_cost,
+                            "best_cost": stats.best_cost,
+                            "cost_trace": list(stats.cost_trace),
+                            "current_cost": current_cost,
+                            "temperature": temperature,
+                            "move_in_step": move_index + 1,
+                            "step_proposed": step_proposed,
+                            "step_accepted": step_accepted,
+                            "rng": [rng_state[0], list(rng_state[1]), rng_state[2]],
+                            "state": checkpoint.capture(),
+                            "best": (
+                                checkpoint.encode(best_snapshot)
+                                if best_snapshot is not None
+                                else None
+                            ),
+                        }
+                    )
+            start_move = 0
             stats.cost_trace.append(current_cost)
             if track:
                 telemetry.emit(
@@ -217,6 +307,10 @@ class SimulatedAnnealer:
 
         stats.final_cost = current_cost
         stats.best_snapshot = best_snapshot
+        if checkpoint is not None:
+            # A finished anneal leaves no checkpoint behind: resuming a
+            # completed schedule would run moves past it.
+            checkpoint.clear()
         if track:
             elapsed = time.perf_counter() - loop_started
             telemetry.metrics.gauge("sa.acceptance_ratio").set(

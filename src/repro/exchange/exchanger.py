@@ -75,6 +75,7 @@ class FingerPadExchanger:
         backend: str = "auto",
         incremental: Optional[bool] = None,
         wl_resync_interval: Optional[int] = None,
+        checkpoint=None,
     ) -> None:
         self.design = design
         self.weights = weights or CostWeights()
@@ -89,6 +90,11 @@ class FingerPadExchanger:
         #: kernel's default); the fuzzer pins tiny values so short anneals
         #: still cross resync boundaries.
         self.wl_resync_interval = wl_resync_interval
+        #: Optional :class:`~repro.exchange.checkpoint.SACheckpointer`:
+        #: the anneal periodically persists its full state and resumes
+        #: bit-identically after a crash.  Array backend only — the object
+        #: backend's cost caches have no captured-state form.
+        self.checkpoint = checkpoint
         if incremental is not None:
             warnings.warn(
                 "FingerPadExchanger(incremental=...) is deprecated; pass "
@@ -134,6 +140,18 @@ class FingerPadExchanger:
                 power_only=self.power_only,
                 wl_resync_interval=self.wl_resync_interval,
             )
+        checkpoint = self.checkpoint
+        if checkpoint is not None:
+            from .checkpoint import decode_arrays, encode_arrays
+
+            checkpoint.bind(
+                capture=kernel.checkpoint_state,
+                restore=kernel.restore_checkpoint,
+                encode=encode_arrays,
+                decode=decode_arrays,
+            )
+            if checkpoint.run_key is None:
+                checkpoint.run_key = self._checkpoint_run_key(kernel, seed)
         annealer = SimulatedAnnealer(self.params)
         anneal_started = time.perf_counter()
         with span("sa.anneal", telemetry, backend="array"):
@@ -144,6 +162,7 @@ class FingerPadExchanger:
                 cost=kernel.cost,
                 seed=seed,
                 snapshot=kernel.snapshot,
+                checkpoint=checkpoint,
             )
         anneal_seconds = time.perf_counter() - anneal_started
         if stats.best_snapshot is not None:
@@ -189,7 +208,46 @@ class FingerPadExchanger:
             omega_after=omega_of_design(after, psi),
         )
 
+    def _checkpoint_run_key(self, kernel, seed: Optional[int]) -> str:
+        """Identity of one anneal: seed + schedule + weights + baseline.
+
+        A checkpoint whose run key differs answers a different question
+        (other seed, other circuit, other schedule) and must read as
+        absent rather than resume.
+        """
+        import hashlib
+        import json
+
+        params = self.params
+        payload = {
+            "seed": seed,
+            "schedule": [
+                params.initial_temp,
+                params.final_temp,
+                params.cooling,
+                params.moves_per_temp,
+            ],
+            "weights": [
+                self.weights.ir,
+                self.weights.density,
+                self.weights.bonding,
+                self.weights.wirelength,
+            ],
+            "orders": {
+                str(side): order for side, order in kernel.orders().items()
+            },
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
     def _run_object(self, assignments: Dict, seed: Optional[int]) -> ExchangeResult:
+        if self.checkpoint is not None:
+            from ..errors import ExchangeError
+
+            raise ExchangeError(
+                "SA checkpointing requires backend='array'; the object "
+                "backend's cost caches have no captured-state form"
+            )
         before = {side: assignment.copy() for side, assignment in assignments.items()}
         working = {side: assignment.copy() for side, assignment in assignments.items()}
 

@@ -26,6 +26,12 @@ Oracles
     agree value-for-value, including across engines with different
     ``base_seed`` sharing one cache (the seed=None poisoning this oracle
     caught; see ``tests/data/fuzz_corpus/``).
+``checkpoint``
+    Crash-and-resume determinism: an array-backend anneal killed right
+    after a checkpoint save (:class:`~repro.exchange.SimulatedCrash`) and
+    resumed in a fresh process-equivalent must replay the *exact*
+    continuation of the uninterrupted run — identical accept/reject
+    counters, cost trace, final orders and costs, bit for bit.
 """
 
 from __future__ import annotations
@@ -222,6 +228,95 @@ def oracle_backends(case: FuzzCase) -> List[str]:
     return problems
 
 
+# -- checkpoint ------------------------------------------------------------
+
+
+def oracle_checkpoint(case: FuzzCase) -> List[str]:
+    """Crash/resume vs uninterrupted: the anneal must be bit-identical.
+
+    Three runs of the array backend under one seed: a clean reference, a
+    checkpointed run killed by :class:`SimulatedCrash` right after its
+    first save lands, and a resume from that checkpoint.  The resumed run
+    must finish with the reference's exact stats, cost trace, final
+    orders and costs — any drift means the checkpoint is missing state
+    (this oracle is what caught the wirelength float accumulator).
+    """
+    import os
+
+    from ..assign import DFAAssigner
+    from ..exchange import SACheckpointer, SimulatedCrash
+
+    design = _build_design(case)
+    try:
+        baseline = DFAAssigner().assign_design(design, seed=case.run_seed)
+    except ReproError as exc:
+        raise SkippedCase(f"{type(exc).__name__}: {exc}") from exc
+
+    def run(checkpoint):
+        from ..exchange import FingerPadExchanger
+
+        exchanger = FingerPadExchanger(
+            design,
+            weights=case.cost_weights(),
+            params=case.sa_params(),
+            track_all_rows=case.track_all_rows,
+            split_networks=case.split_networks,
+            polish_passes=2,
+            backend="array",
+            wl_resync_interval=case.wl_resync_interval,
+            checkpoint=checkpoint,
+        )
+        return exchanger.run(baseline, seed=case.run_seed)
+
+    try:
+        reference = run(None)
+    except ReproError as exc:
+        raise SkippedCase(f"{type(exc).__name__}: {exc}") from exc
+
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-ckpt-") as tmp:
+        path = os.path.join(tmp, "sa.ckpt")
+        # Cap the cadence at the schedule length so even the shortest
+        # generated anneal saves (and crashes) at least once mid-run.
+        interval = max(1, min(2 + case.run_seed % 3,
+                              case.sa_params().total_moves() - 1))
+        try:
+            run(SACheckpointer(path, interval=interval, durable=False,
+                               interrupt_after_saves=1))
+        except SimulatedCrash:
+            pass
+        else:
+            raise SkippedCase(
+                f"anneal finished before a move-{interval} checkpoint"
+            )
+        resumed = run(SACheckpointer(path, interval=interval, durable=False))
+        leftover = os.path.exists(path)
+
+    problems: List[str] = []
+    for fld in ("proposed", "infeasible", "accepted", "accepted_uphill",
+                "nonfinite_rejected"):
+        if getattr(resumed.stats, fld) != getattr(reference.stats, fld):
+            problems.append(
+                f"resumed stats.{fld} {getattr(resumed.stats, fld)} != "
+                f"{getattr(reference.stats, fld)} (trace divergence)"
+            )
+    if resumed.stats.cost_trace != reference.stats.cost_trace:
+        problems.append("resumed cost trace differs from the clean run")
+    for fld in ("final_cost", "best_cost"):
+        if getattr(resumed.stats, fld) != getattr(reference.stats, fld):
+            problems.append(
+                f"resumed stats.{fld} {getattr(resumed.stats, fld)!r} != "
+                f"{getattr(reference.stats, fld)!r} (must be bit-identical)"
+            )
+    for side in reference.after:
+        if resumed.after[side].order != reference.after[side].order:
+            problems.append(f"resumed final order differs on {side.value}")
+    if resumed.cost_breakdown_after != reference.cost_breakdown_after:
+        problems.append("resumed cost breakdown differs from the clean run")
+    if leftover:
+        problems.append("completed resumed run left its checkpoint behind")
+    return problems
+
+
 # -- engine ----------------------------------------------------------------
 
 
@@ -396,11 +491,13 @@ ORACLES: Dict[str, Callable[[FuzzCase], List[str]]] = {
     "density": oracle_density,
     "legality": oracle_legality,
     "backends": oracle_backends,
+    "checkpoint": oracle_checkpoint,
     "engine": oracle_engine,
     "serve": oracle_serve,
 }
 
 #: Run oracle only on every Nth case (1 = every case).  The engine oracle
-#: spawns worker processes and the serve oracle spins a daemon + a full
-#: co-design run per case, so they sample.
-ORACLE_STRIDES: Dict[str, int] = {"engine": 8, "serve": 16}
+#: spawns worker processes, the serve oracle spins a daemon + a full
+#: co-design run per case, and the checkpoint oracle anneals three times
+#: per case, so they sample.
+ORACLE_STRIDES: Dict[str, int] = {"engine": 8, "serve": 16, "checkpoint": 4}

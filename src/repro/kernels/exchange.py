@@ -337,6 +337,41 @@ class ArrayExchangeKernel:
             )
         self._rebuild()
 
+    # -- checkpoint/resume -------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """JSON-able full kernel state for crash-safe SA checkpointing.
+
+        The integer terms (IR, density, omega) rebuild exactly from the
+        slot arrays, but the wirelength guard is a *float accumulator*
+        with deliberate drift between resyncs — restoring via
+        :meth:`restore` alone would reset it to the exact value and
+        desynchronize a resumed run's accept trace from the uninterrupted
+        one.  The accumulator, its resync phase, and the swap counters are
+        therefore part of the state.  (JSON round-trips Python floats
+        exactly, so the restored accumulator is bit-identical.)
+        """
+        state = {
+            "slots": [arrays.slot_net.tolist() for arrays in self.sides],
+            "swap_count": self.swap_count,
+            "resync_count": self.resync_count,
+        }
+        if self._track_wl:
+            state["wl_total"] = self._wl_total
+            state["wl_since_resync"] = self._wl_since_resync
+        return state
+
+    def restore_checkpoint(self, state: dict) -> None:
+        """Resume from :meth:`checkpoint_state`, bit-identically."""
+        self.restore(
+            [np.asarray(slots, dtype=np.int64) for slots in state["slots"]]
+        )
+        self.swap_count = int(state.get("swap_count", 0))
+        self.resync_count = int(state.get("resync_count", 0))
+        if self._track_wl and "wl_total" in state:
+            self._wl_total = float(state["wl_total"])
+            self._wl_since_resync = int(state.get("wl_since_resync", 0))
+
     # -- hot path --------------------------------------------------------------
 
     def _swap(self, q: int, lo: int) -> None:

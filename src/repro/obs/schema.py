@@ -47,6 +47,11 @@ REQUIRED: Dict[str, Dict[str, tuple]] = {
     "engine.degraded": {"reason": _STR, "unresolved": _NUM},
     "engine.pool_start": {"workers": _NUM},
     "job.cached": {"job": _STR, "kind": _STR},
+    "job.journal": {"job": _STR, "kind": _STR},
+    "journal.compact": {"records": _NUM, "bytes": _NUM, "reclaimed": _NUM},
+    "checkpoint.saved": {"proposed": _NUM, "bytes": _NUM},
+    "checkpoint.resumed": {"proposed": _NUM, "temperature": _NUM},
+    "checkpoint.invalid": {"reason": _STR},
     "job.done": {"job": _STR, "kind": _STR, "seconds": _NUM, "attempts": _NUM, "mode": _STR},
     "job.error": {"job": _STR, "kind": _STR, "error": _STR, "attempt": _NUM},
     "job.failed": {"job": _STR, "kind": _STR, "error": _STR},
@@ -62,6 +67,7 @@ REQUIRED: Dict[str, Dict[str, tuple]] = {
     "serve.batch": {"size": _NUM, "waited": _NUM},
     "serve.reject": {"reason": _STR, "pending": _NUM},
     "serve.drain": {"pending": _NUM, "seconds": _NUM, "clean": _BOOL},
+    "serve.recover": {"settled": _NUM, "inflight": _NUM, "failed": _NUM},
     "serve.stop": {"requests": _NUM, "seconds": _NUM},
     "sa.begin": {"initial_cost": _NUM, "initial_temp": _NUM, "steps": _NUM,
                  "moves_per_temp": _NUM},
@@ -93,6 +99,8 @@ OPTIONAL: Dict[str, Dict[str, tuple]] = {
     "span.end": {"status": _STR},
     "engine.end": {"hits": _NUM, "misses": _NUM, "writes": _NUM, "invalid": _NUM,
                    "evicted": _NUM},
+    "checkpoint.saved": {"seconds": _NUM, "path": _STR},
+    "checkpoint.invalid": {"path": _STR},
     "serve.submit": {"wait": _BOOL},
     "job.done": {"queue_wait": _NUM},
     "job.error": {"error_class": _STR, "traceback": _STR},

@@ -14,6 +14,10 @@ them a shared execution engine:
     :class:`JobEngine`: process-pool fan-out with per-job timeout,
     bounded retry with backoff and graceful degradation to serial
     execution when workers die.
+``journal``
+    Append-only, fsync'd write-ahead log of job lifecycles: settled
+    digests answer across restarts, in-flight digests recover exactly
+    once after a crash.
 ``telemetry``
     Counters, timers and a JSONL event sink, threaded through the SA
     annealer and the experiment flow.
@@ -27,8 +31,10 @@ them a shared execution engine:
 therefore loaded lazily (the registry resolves them on first use).
 """
 
+from .atomic import atomic_write_text
 from .cache import MISS, ResultCache, default_cache_dir, default_max_bytes
 from .engine import JobEngine, JobOutcome
+from .journal import JOURNAL_VERSION, JobJournal
 from .spec import (
     CACHE_SCHEMA_VERSION,
     JobSpec,
@@ -46,13 +52,16 @@ from .telemetry import (
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "JOURNAL_VERSION",
     "JobEngine",
+    "JobJournal",
     "JobOutcome",
     "JobSpec",
     "JsonlSink",
     "MISS",
     "ResultCache",
     "Telemetry",
+    "atomic_write_text",
     "default_cache_dir",
     "default_max_bytes",
     "get_telemetry",

@@ -1,0 +1,79 @@
+"""Atomic, optionally durable file writes.
+
+One discipline, shared by the journal compactor and the SA checkpointer
+(and matching what :class:`~repro.runtime.cache.ResultCache` already
+does): write the full document to a temp file *in the destination
+directory*, then ``os.replace`` it over the target.  A reader therefore
+only ever sees the old complete document or the new complete document —
+never a torn one — even against concurrent foreign writers, because
+rename is atomic within a filesystem.
+
+``durable=True`` additionally fsyncs the temp file before the rename and
+the directory after it, which is what turns "atomic" into "crash-safe":
+without the directory fsync a power loss can forget the rename itself.
+The cache skips durability (a lost cache entry is just a miss); a
+journal compaction or checkpoint must not.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """fsync a directory so a rename inside it survives power loss.
+
+    Best-effort: some filesystems (and all of Windows) refuse to open
+    directories — there the rename is as durable as the platform allows.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: Union[str, Path], data: str, durable: bool = True
+) -> Path:
+    """Atomically replace *path* with *data*; returns the path.
+
+    The temp file lives next to the target (same filesystem, so the
+    rename cannot degrade to copy+delete) and is cleaned up on any
+    failure.  With ``durable`` the data is fsynced before the rename and
+    the directory after it.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=path.parent,
+        prefix=path.name,
+        suffix=".tmp",
+        delete=False,
+        encoding="utf-8",
+    )
+    try:
+        with handle:
+            handle.write(data)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_dir(path.parent)
+    return path

@@ -43,6 +43,7 @@ from ..obs.profile import PROFILE_MODES, make_profiler, profile_to_event
 from ..obs.spans import attached_to, open_span, span
 from ..verify.policy import OFF, STRICT, normalize as normalize_policy
 from .cache import MISS, ResultCache
+from .journal import JobJournal
 from .spec import JobSpec, resolve_job_type
 from .telemetry import Telemetry, get_telemetry, using_telemetry
 
@@ -95,6 +96,9 @@ class JobOutcome:
     #: Taxonomy class of the failure (``errors.classify_error``), when any.
     error_class: Optional[str] = None
     cached: bool = False
+    #: True when the value was replayed from the write-ahead journal (a
+    #: previous process settled it and crashed before anyone read it).
+    journal: bool = False
     attempts: int = 0
     seconds: float = 0.0
 
@@ -171,6 +175,7 @@ class JobEngine:
         verify: str = OFF,
         profile: Optional[str] = None,
         warm: bool = False,
+        journal: Optional[JobJournal] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -199,6 +204,12 @@ class JobEngine:
         #: Keep one process pool alive across :meth:`run` calls (daemon
         #: mode); workers pre-import the heavy layers via ``_warm_worker``.
         self.warm = warm
+        #: Optional write-ahead journal: every lifecycle transition of an
+        #: executed spec is logged before it is acted on, settled digests
+        #: answer from the journal without re-execution, and the specs that
+        #: were in flight when the journal was opened are exposed once via
+        #: :meth:`recovered_specs` for re-enqueueing.
+        self.journal = journal
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # -- pool lifecycle ----------------------------------------------------
@@ -274,27 +285,40 @@ class JobEngine:
             # so install the engine's for the lookup phase.
             with using_telemetry(telemetry):
                 for index, spec in enumerate(specs):
-                    if self.cache is None:
-                        continue
-                    value = self.cache.get(spec)
-                    if value is not MISS and self.verify != OFF:
-                        invalid = self._validate_value(spec, value, source="cache")
-                        if invalid is not None:
-                            # A semantically invalid entry is as bad as a
-                            # corrupt one: drop it and recompute instead of
-                            # tabulating it.
-                            self.cache.invalidate(spec)
-                            value = MISS
-                    if value is not MISS:
-                        outcomes[index] = JobOutcome(spec=spec, value=value, cached=True)
-                        telemetry.count("cache.hits")
-                        metrics.counter("cache.hits").inc()
-                        telemetry.emit("job.cached", job=spec.label(), kind=spec.kind)
-                    else:
+                    if self.cache is not None:
+                        value = self.cache.get(spec)
+                        if value is not MISS and self.verify != OFF:
+                            invalid = self._validate_value(spec, value, source="cache")
+                            if invalid is not None:
+                                # A semantically invalid entry is as bad as a
+                                # corrupt one: drop it and recompute instead of
+                                # tabulating it.
+                                self.cache.invalidate(spec)
+                                value = MISS
+                        if value is not MISS:
+                            outcomes[index] = JobOutcome(
+                                spec=spec, value=value, cached=True
+                            )
+                            telemetry.count("cache.hits")
+                            metrics.counter("cache.hits").inc()
+                            telemetry.emit(
+                                "job.cached", job=spec.label(), kind=spec.kind
+                            )
+                            continue
                         telemetry.count("cache.misses")
                         metrics.counter("cache.misses").inc()
+                    outcome = self._journal_lookup(spec)
+                    if outcome is not None:
+                        outcomes[index] = outcome
 
             pending = [i for i, outcome in enumerate(outcomes) if outcome is None]
+            if self.journal is not None:
+                # Write-ahead: admission and start are on disk before any
+                # work happens, so a crash from here on leaves the digest
+                # in flight for the next process to recover exactly once.
+                for index in pending:
+                    self.journal.record_submitted(specs[index])
+                    self.journal.record_started(specs[index].digest())
             telemetry.emit(
                 "engine.start",
                 jobs=self.jobs,
@@ -322,7 +346,24 @@ class JobEngine:
             for outcome in outcomes:
                 if not outcome.ok:
                     failures += 1
+                    if self.journal is not None:
+                        self.journal.record_failed(
+                            outcome.spec.digest(),
+                            outcome.error,
+                            error_class=outcome.error_class,
+                        )
                     continue
+                if self.journal is not None and not outcome.journal:
+                    # Settle cache hits too: the journal is the restart
+                    # registry, and an idempotent settle of a known digest
+                    # costs one dict lookup, not an fsync.
+                    self.journal.record_settled(
+                        outcome.spec,
+                        outcome.value,
+                        attempts=outcome.attempts,
+                        seconds=outcome.seconds,
+                        cached=outcome.cached,
+                    )
                 if self.cache is not None and not outcome.cached:
                     with using_telemetry(telemetry):
                         self.cache.put(outcome.spec, outcome.value)
@@ -340,6 +381,50 @@ class JobEngine:
 
     def run_one(self, spec: JobSpec) -> JobOutcome:
         return self.run([spec])[0]
+
+    def recovered_specs(self) -> List[JobSpec]:
+        """Specs left in flight by a crashed predecessor, exactly once.
+
+        Consumes the journal's recovery snapshot; without a journal (or on
+        any later call) the list is empty.  Callers re-enqueue these
+        through :meth:`run` like fresh submissions — the journal's
+        ``record_submitted`` dedup makes the replay idempotent.
+        """
+        if self.journal is None:
+            return []
+        return self.journal.take_recovered()
+
+    # -- journal -----------------------------------------------------------
+
+    def _journal_lookup(self, spec: JobSpec) -> Optional[JobOutcome]:
+        """Answer *spec* from the journal's settled records, if possible.
+
+        A settled value is re-checked under the verify policy like any
+        cached value; an invalid one is superseded with a ``failed``
+        record (so replay stops serving it) and the spec re-runs.
+        """
+        if self.journal is None:
+            return None
+        record = self.journal.settled_record(spec.digest())
+        if record is None:
+            return None
+        value = record.get("value")
+        invalid = self._validate_value(spec, value, source="journal")
+        if invalid is not None:
+            self.journal.record_failed(
+                spec.digest(), invalid, error_class="verification"
+            )
+            return None
+        self.telemetry.count("journal.hits")
+        self.telemetry.metrics.counter("journal.hits").inc()
+        self.telemetry.emit("job.journal", job=spec.label(), kind=spec.kind)
+        return JobOutcome(
+            spec=spec,
+            value=value,
+            cached=bool(record.get("cached", False)),
+            journal=True,
+            attempts=int(record.get("attempts", 1) or 0),
+        )
 
     # -- verification ------------------------------------------------------
 
@@ -411,6 +496,8 @@ class JobEngine:
                     time.sleep(self.backoff * (2 ** (round_ - 1)))
                     telemetry.count("jobs.retried")
                     telemetry.metrics.counter("engine.retries").inc()
+                    if self.journal is not None:
+                        self.journal.record_retried(spec.digest(), attempt=round_ + 1)
                 profiler = make_profiler(self.profile)
                 start = time.perf_counter()
                 try:
@@ -497,6 +584,11 @@ class JobEngine:
                     time.sleep(self.backoff * (2 ** (round_ - 1)))
                     telemetry.count("jobs.retried", len(remaining))
                     metrics.counter("engine.retries").inc(len(remaining))
+                    if self.journal is not None:
+                        for i in remaining:
+                            self.journal.record_retried(
+                                specs[i].digest(), attempt=round_ + 1
+                            )
                 futures = {}
                 handles = {}
                 for i in remaining:

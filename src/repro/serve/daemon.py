@@ -43,9 +43,10 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..obs.schema import SCHEMA_VERSION
-from ..runtime import JobEngine, JsonlSink, ResultCache, Telemetry
+from ..runtime import JobEngine, JobJournal, JsonlSink, ResultCache, Telemetry
+from ..runtime.journal import spec_from_record
 from ..runtime.spec import job_types, resolve_job_type
-from .state import DONE, RUNNING, EventBus, JobRecord, JobRegistry
+from .state import DONE, FAILED, RUNNING, EventBus, JobRecord, JobRegistry
 from .wire import (
     MAX_BODY_BYTES,
     WIRE_SCHEMA_VERSION,
@@ -69,6 +70,10 @@ class ServeConfig:
     cache: bool = True
     cache_dir: Optional[str] = None
     max_cache_bytes: Optional[int] = None
+    #: Path of the persistent job journal (WAL).  When set, admissions and
+    #: settlements survive ``kill -9``: on restart the registry is rebuilt
+    #: from the journal and unfinished jobs re-enqueue exactly once.
+    journal: Optional[str] = None
     queue_limit: int = 64
     #: Seconds the dispatcher waits to coalesce a batch after the first
     #: admitted job; 0 disables micro-batching.
@@ -118,6 +123,7 @@ class ServeApp:
         self._sink: Optional[JsonlSink] = None
         self.engine: Optional[JobEngine] = None
         self.cache: Optional[ResultCache] = None
+        self.journal: Optional[JobJournal] = None
         self.port: Optional[int] = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -146,6 +152,9 @@ class ServeApp:
             if config.cache
             else None
         )
+        self.journal = (
+            JobJournal(config.journal) if config.journal else None
+        )
         self.engine = JobEngine(
             jobs=max(1, config.workers),
             cache=self.cache,
@@ -154,7 +163,9 @@ class ServeApp:
             retries=config.retries,
             verify=config.verify,
             warm=config.workers > 1,
+            journal=self.journal,
         )
+        self._recover()
         self._server = await asyncio.start_server(
             self._handle_connection, config.host, config.port
         )
@@ -176,6 +187,58 @@ class ServeApp:
                 flush=True,
             )
         return config.host, self.port
+
+    def _recover(self) -> None:
+        """Rebuild the registry from the journal after a restart.
+
+        Settled and failed digests become answerable records immediately
+        (``GET /v1/jobs/<digest>`` survives ``kill -9``); digests that were
+        in flight when the previous process died re-enqueue exactly once
+        (:meth:`JobJournal.take_recovered` consumes the snapshot).
+        """
+        if self.journal is None:
+            return
+        settled = self.journal.settled_records()
+        failed = self.journal.failed_records()
+        for digest, entry in settled.items():
+            spec = spec_from_record(entry)
+            if spec is None:
+                continue
+            record = JobRecord(spec=spec, digest=digest, status=DONE)
+            record.value = entry.get("value")
+            record.cached = bool(entry.get("cached", False))
+            record.attempts = int(entry.get("attempts", 1))
+            record.seconds = float(entry.get("seconds", 0.0))
+            record.done_event.set()
+            self.registry.add(record)
+            self.bus.labels[spec.label()] = digest
+            self._settle(record, count=False)
+        for digest, entry in failed.items():
+            spec = spec_from_record(entry)
+            if spec is None:
+                continue
+            record = JobRecord(spec=spec, digest=digest, status=FAILED)
+            record.error = entry.get("error")
+            record.error_class = entry.get("error_class")
+            record.done_event.set()
+            self.registry.add(record)
+            self.bus.labels[spec.label()] = digest
+            self._settle(record, count=False)
+        recovered = self.engine.recovered_specs()
+        for spec in recovered:
+            digest = spec.digest()
+            if self.registry.get(digest) is not None:
+                continue
+            record = JobRecord(spec=spec, digest=digest)
+            self.registry.add(record)
+            self.bus.labels[spec.label()] = digest
+            self._queue.put_nowait(record)
+        self.telemetry.emit(
+            "serve.recover",
+            settled=len(settled),
+            inflight=len(recovered),
+            failed=len(failed),
+        )
 
     async def run_until_stopped(self, install_signals: bool = True) -> int:
         """Serve until :meth:`request_shutdown`; returns the exit code."""
@@ -229,6 +292,8 @@ class ServeApp:
             if not self._dispatcher.done():
                 self._dispatcher.cancel()
         self.engine.close()
+        if self.journal is not None:
+            self.journal.close()
         self.telemetry.emit(
             "serve.stop",
             requests=self.counters["requests"],
@@ -313,8 +378,9 @@ class ServeApp:
                         entry.finish(_synthetic_failure(entry, exc))
                         self._settle(entry)
 
-    def _settle(self, record: JobRecord) -> None:
-        self.counters["completed" if record.status == DONE else "failed"] += 1
+    def _settle(self, record: JobRecord, count: bool = True) -> None:
+        if count:
+            self.counters["completed" if record.status == DONE else "failed"] += 1
         for dropped in self.registry.settle(record):
             self.bus.labels.pop(dropped.spec.label(), None)
 
@@ -332,7 +398,7 @@ class ServeApp:
                 status = 500
                 try:
                     status, finished = await self._route(
-                        method, path, body, writer
+                        method, path, headers, body, writer
                     )
                 except ConnectionError:  # pragma: no cover - client vanished
                     break
@@ -367,7 +433,7 @@ class ServeApp:
                 writer.close()
                 await writer.wait_closed()
 
-    async def _route(self, method, path, body, writer) -> Tuple[int, bool]:
+    async def _route(self, method, path, headers, body, writer) -> Tuple[int, bool]:
         """Dispatch one request; returns (status, connection-reusable)."""
         if path == "/healthz" and method == "GET":
             return await _send_json(writer, 200, self.health()), True
@@ -385,7 +451,10 @@ class ServeApp:
                         writer, 404,
                         error_body("unknown-job", f"no job {digest[:12]}..."),
                     ), True
-                await self._stream_events(record, writer)
+                await self._stream_events(
+                    record, writer,
+                    last_event_id=_parse_last_event_id(headers),
+                )
                 return 200, False  # SSE closes the connection
             record = self.registry.get(digest)
             if record is None:
@@ -458,6 +527,10 @@ class ServeApp:
             record = JobRecord(spec=spec, digest=digest)
             self.registry.add(record)
             self.bus.labels[spec.label()] = digest
+            if self.journal is not None:
+                # Write-ahead at admission: a kill between here and the
+                # batch dispatch still re-enqueues this digest on restart.
+                self.journal.record_submitted(spec)
             self._queue.put_nowait(record)
         self.counters["submitted"] += 1
         self.telemetry.emit(
@@ -479,8 +552,18 @@ class ServeApp:
             return await _send_json(writer, 202, record.envelope(deduped))
         return await _send_json(writer, 200, record.envelope(deduped))
 
-    async def _stream_events(self, record: JobRecord, writer) -> None:
-        """Serve one job's telemetry as SSE: buffered replay, then live."""
+    async def _stream_events(
+        self,
+        record: JobRecord,
+        writer,
+        last_event_id: Optional[int] = None,
+    ) -> None:
+        """Serve one job's telemetry as SSE: buffered replay, then live.
+
+        Every event carries an ``id:`` line (per-record monotonic); a
+        client reconnecting with ``Last-Event-ID: N`` replays only the
+        ring-buffer events it missed (ids > N) before going live.
+        """
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: text/event-stream\r\n"
@@ -489,21 +572,32 @@ class ServeApp:
         )
         await writer.drain()
         queue = self.bus.subscribe(record)
+        sent = last_event_id if last_event_id is not None else -1
         try:
-            for event in list(record.events):
-                await _send_sse(writer, event)
+            for event_id, event in list(record.events):
+                if event_id <= sent:
+                    continue
+                await _send_sse(writer, event, event_id=event_id)
+                sent = event_id
             while not record.settled:
                 try:
-                    event = await asyncio.wait_for(queue.get(), 1.0)
+                    event_id, event = await asyncio.wait_for(queue.get(), 1.0)
                 except asyncio.TimeoutError:
                     continue
-                await _send_sse(writer, event)
+                if event_id <= sent:
+                    continue
+                await _send_sse(writer, event, event_id=event_id)
+                sent = event_id
             # Flush whatever the finishing job still queued.
             while True:
                 try:
-                    await _send_sse(writer, queue.get_nowait())
+                    event_id, event = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
+                if event_id <= sent:
+                    continue
+                await _send_sse(writer, event, event_id=event_id)
+                sent = event_id
             await _send_sse(
                 writer, record.envelope(), event_name="serve.result"
             )
@@ -609,11 +703,29 @@ async def _send_json(writer, status: int, body: dict, headers=None) -> int:
     return status
 
 
-async def _send_sse(writer, event: dict, event_name: Optional[str] = None) -> None:
+async def _send_sse(
+    writer,
+    event: dict,
+    event_name: Optional[str] = None,
+    event_id: Optional[int] = None,
+) -> None:
     name = event_name or event.get("event", "message")
     data = json.dumps(event, sort_keys=True, default=str)
-    writer.write(f"event: {name}\ndata: {data}\n\n".encode("utf-8"))
+    prefix = f"id: {event_id}\n" if event_id is not None else ""
+    writer.write(f"{prefix}event: {name}\ndata: {data}\n\n".encode("utf-8"))
     await writer.drain()
+
+
+def _parse_last_event_id(headers: dict) -> Optional[int]:
+    """The ``Last-Event-ID`` header as an int, or ``None`` when absent
+    or malformed (a bad header means a full replay, not an error)."""
+    raw = headers.get("last-event-id")
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        return None
 
 
 # -- entry points ----------------------------------------------------------

@@ -49,7 +49,8 @@ SMOKE_PARAMS = {
 }
 
 
-def start_daemon(cache_dir: str, workers: int = 1, timeout: float = 30.0):
+def start_daemon(cache_dir: str, workers: int = 1, timeout: float = 30.0,
+                 extra_args: Optional[List[str]] = None):
     """Spawn ``repro serve --port 0``; returns ``(process, port)``."""
     process = subprocess.Popen(
         [
@@ -57,6 +58,7 @@ def start_daemon(cache_dir: str, workers: int = 1, timeout: float = 30.0):
             "--port", "0", "--workers", str(workers),
             "--cache-dir", cache_dir,
             "--drain-deadline", "20",
+            *(extra_args or []),
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
@@ -97,7 +99,11 @@ def run_smoke(workers: int = 1, verbose: bool = True) -> List[str]:
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
         process, port = start_daemon(tmp, workers=workers)
         try:
-            client = ServeClient(port=port, timeout=120.0)
+            # Retries with backoff ride out the daemon's startup window
+            # and transient 429/503 shedding (Retry-After honored).
+            client = ServeClient(
+                port=port, timeout=120.0, connect_timeout=10.0, retries=3
+            )
 
             health = client.health()
             check(health.get("status") == "ok", "healthz reports ok")

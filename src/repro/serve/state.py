@@ -13,7 +13,7 @@ import asyncio
 import collections
 import time
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..runtime.engine import JobOutcome
 from ..runtime.spec import JobSpec
@@ -48,8 +48,12 @@ class JobRecord:
     cached: bool = False
     attempts: int = 0
     seconds: float = 0.0
-    #: Telemetry events attributed to this job, for SSE replay.
-    events: Deque[dict] = field(default_factory=lambda: collections.deque(maxlen=EVENT_BUFFER))
+    #: Telemetry events attributed to this job, as ``(event_id, event)``
+    #: pairs for SSE replay.  Ids are per-record, monotonic from 0; an SSE
+    #: client reconnecting with ``Last-Event-ID: N`` replays only ids > N.
+    events: Deque[Tuple[int, dict]] = field(default_factory=lambda: collections.deque(maxlen=EVENT_BUFFER))
+    #: Next SSE event id this record will assign.
+    next_event_id: int = 0
     #: Live SSE subscribers (bounded queues; slow clients drop events).
     subscribers: List[asyncio.Queue] = field(default_factory=list)
     done_event: asyncio.Event = field(default_factory=asyncio.Event)
@@ -162,10 +166,12 @@ class EventBus:
         record = self._registry.get(digest)
         if record is None:
             return
-        record.events.append(event)
+        event_id = record.next_event_id
+        record.next_event_id += 1
+        record.events.append((event_id, event))
         for queue in record.subscribers:
             try:
-                queue.put_nowait(event)
+                queue.put_nowait((event_id, event))
             except asyncio.QueueFull:
                 # A slow SSE client loses events rather than stalling the
                 # daemon; the buffered replay still has the recent tail.

@@ -37,6 +37,9 @@ FAULTS = (
     "corrupt_cache",
     "worker_crash",
     "timeout",
+    "torn_journal",
+    "corrupt_checkpoint",
+    "journal_worker_crash",
 )
 
 #: Cache-corruption modes :func:`corrupt_cache_entry` can apply.
@@ -301,7 +304,139 @@ class ChaosHarness:
             ).run([spec, spec])[0]
             return self._report(fault, outcome, degraded=False)
 
+        if fault == "torn_journal":
+            return self._inject_torn_journal()
+
+        if fault == "corrupt_checkpoint":
+            return self._inject_corrupt_checkpoint(rng)
+
+        if fault == "journal_worker_crash":
+            return self._inject_journal_worker_crash()
+
         raise ValueError(f"unknown fault {fault!r}; known: {FAULTS}")
+
+    def _inject_torn_journal(self) -> FaultReport:
+        """A kill -9 mid-append leaves a torn final journal line; replay
+        must drop it, keep every settled record, and still raise typed on
+        *interior* garbage (which is damage, not a crash signature)."""
+        from ..errors import JournalCorruptionError
+        from ..runtime.journal import JobJournal
+
+        fault = "torn_journal"
+        path = os.path.join(self.workdir, "chaos-journal.wal")
+        spec = JobSpec("chaos_bad_value", {"fail_times": 0}, seed=self.seed)
+        with JobJournal(path) as journal:
+            first = self._engine(jobs=1, journal=journal).run_one(spec)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"rec": "sett')  # the torn tail of a dying append
+        with JobJournal(path) as reopened:
+            torn = reopened.diagnostics["torn_tail"]
+            record = reopened.settled_record(spec.digest())
+        if torn != 1 or record is None or record.get("value") != first.value:
+            return FaultReport(
+                fault=fault, ok=False,
+                error="torn journal tail lost or altered the settled record",
+                error_class="journal", degraded=True,
+            )
+        # Interior garbage: not the final line, so not a torn tail.
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines.insert(0, "NOT A JOURNAL RECORD\n")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        try:
+            JobJournal(path)
+        except JournalCorruptionError as exc:
+            return FaultReport(
+                fault=fault, ok=True, error=str(exc), error_class="journal",
+                degraded=True, value={"torn_tail": torn},
+            )
+        return FaultReport(
+            fault=fault, ok=False,
+            error="interior journal corruption went undetected",
+            error_class=None, degraded=False,
+        )
+
+    def _inject_corrupt_checkpoint(self, rng: random.Random) -> FaultReport:
+        """A damaged SA checkpoint must read as absent (renamed aside,
+        run restarts from scratch) — or raise typed under ``strict``."""
+        from ..errors import CheckpointIntegrityError
+        from ..exchange import SACheckpointer
+
+        fault = "corrupt_checkpoint"
+        path = os.path.join(self.workdir, "chaos-checkpoint.json")
+
+        def write_and_garble() -> None:
+            checkpointer = SACheckpointer(path, interval=5)
+            checkpointer.save({"proposed": 5, "marker": "chaos"})
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+            start = rng.randrange(0, max(1, len(text) - 8))
+            noise = "".join(rng.choice("!@#$%^&*") for __ in range(8))
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text[:start] + noise + text[start + 8:])
+
+        write_and_garble()
+        resumed = SACheckpointer(path, interval=5).load()
+        quarantined = os.path.exists(path + ".corrupt")
+        write_and_garble()
+        try:
+            SACheckpointer(path, interval=5, strict=True).load()
+            strict_typed = False
+        except CheckpointIntegrityError:
+            strict_typed = True
+        ok = resumed is None and quarantined and strict_typed
+        return FaultReport(
+            fault=fault, ok=ok,
+            error=None if ok else (
+                f"corrupt checkpoint mishandled (resumed={resumed is not None}, "
+                f"quarantined={quarantined}, strict_typed={strict_typed})"
+            ),
+            error_class="checkpoint", degraded=True,
+            value={"quarantined": quarantined, "strict_typed": strict_typed},
+        )
+
+    def _inject_journal_worker_crash(self) -> FaultReport:
+        """SIGKILL a pool worker mid-batch with the journal attached: the
+        surviving job's value must be durably settled, and the crashed
+        digest must never appear settled."""
+        from ..runtime.journal import JobJournal
+
+        fault = "journal_worker_crash"
+        path = os.path.join(self.workdir, "chaos-journal-crash.wal")
+        crash = JobSpec("chaos_crash", {"parent_pid": os.getpid()}, seed=self.seed)
+        honest = JobSpec("chaos_bad_value", {"fail_times": 0}, seed=self.seed)
+        with JobJournal(path) as journal:
+            outcomes = self._engine(
+                jobs=max(2, self.jobs), journal=journal
+            ).run([crash, honest])
+        with JobJournal(path) as replayed:
+            records = {
+                outcome.spec.digest():
+                    replayed.settled_record(outcome.spec.digest())
+                for outcome in outcomes
+            }
+            recovered = {spec.digest() for spec in replayed.take_recovered()}
+        # The journal must agree with what the engine reported: a digest
+        # the engine settled (including via its degraded serial re-run
+        # after the worker died) replays with the identical value; a
+        # digest it failed is never settled — either recorded failed or
+        # reported for re-enqueue, but not a lie about finished work.
+        mismatches = []
+        for outcome in outcomes:
+            record = records[outcome.spec.digest()]
+            if outcome.ok:
+                if record is None or record.get("value") != outcome.value:
+                    mismatches.append(f"{outcome.spec.kind}: value not durable")
+            elif record is not None:
+                mismatches.append(f"{outcome.spec.kind}: failure settled")
+        ok = not mismatches
+        return FaultReport(
+            fault=fault, ok=ok,
+            error=None if ok else "; ".join(mismatches),
+            error_class="journal", degraded=True,
+            value={"recovered_inflight": sorted(recovered)},
+        )
 
     def run(self) -> Dict[str, FaultReport]:
         """Inject every fault class; returns ``{fault: report}``."""
