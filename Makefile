@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test check bench bench-smoke bench-kernel bench-obs bench-serve bench-journal serve-smoke crash-smoke fuzz-smoke report examples clean
+.PHONY: install test check bench bench-smoke bench-kernel bench-pipeline bench-obs bench-serve bench-journal serve-smoke crash-smoke fuzz-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -29,6 +29,13 @@ bench-smoke:
 # full sweep with the recorded speedup table is `pytest benchmarks/bench_kernel.py`).
 bench-kernel:
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python benchmarks/bench_kernel.py --smoke
+
+# End-to-end staged-pipeline smoke (<30 s): one assign+density+IR flow
+# iteration on both backends at 4096 fingers, failing below 2x (the full
+# 100k sweep writing results/BENCH_pipeline.json is
+# `pytest benchmarks/bench_pipeline.py`).
+bench-pipeline:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python benchmarks/bench_pipeline.py --smoke
 
 # Observability null-path gate (<30 s): the instrumented SA loop with
 # telemetry disabled must be within 5% of a telemetry-free replica

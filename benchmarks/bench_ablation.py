@@ -9,6 +9,7 @@ Not a paper table — these quantify the knobs the reproduction had to pin:
 * IFA vs DFA as the seed of the exchange step.
 """
 
+from repro.assign import assign_design
 import pytest
 
 from repro.assign import DFAAssigner, IFAAssigner
@@ -31,7 +32,7 @@ def test_ablation_cutline_n(benchmark, design, record_result):
 
     def run():
         return {
-            n: max_density_of_design(DFAAssigner(cut_line_n=n).assign_design(design))
+            n: max_density_of_design(assign_design(DFAAssigner(cut_line_n=n), design))
             for n in (1, 2, 3, 4)
         }
 
@@ -45,7 +46,7 @@ def test_ablation_cutline_n(benchmark, design, record_result):
 
 def test_ablation_id_tracking_scope(benchmark, design, record_result):
     """Top-line-only ID (the paper's shortcut) vs all-lines tracking."""
-    initial = DFAAssigner().assign_design(design)
+    initial = assign_design(DFAAssigner(), design)
     analyzer = IRDropAnalyzer(design, GRID)
 
     def run():
@@ -76,7 +77,7 @@ def test_ablation_id_tracking_scope(benchmark, design, record_result):
 
 def test_ablation_weights(benchmark, design, record_result):
     """Eq.-3 trade-off: heavier density weight suppresses growth and gains."""
-    initial = DFAAssigner().assign_design(design)
+    initial = assign_design(DFAAssigner(), design)
     analyzer = IRDropAnalyzer(design, GRID)
 
     def run():
@@ -105,7 +106,7 @@ def test_ablation_sa_vs_greedy(benchmark, design, record_result):
     """What the annealing buys over pure hill-climbing on Eq. 3."""
     from repro.exchange import FingerPadExchanger, GreedyExchanger
 
-    initial = DFAAssigner().assign_design(design)
+    initial = assign_design(DFAAssigner(), design)
     analyzer = IRDropAnalyzer(design, GRID)
 
     def run():
@@ -140,7 +141,7 @@ def test_ablation_seed_assigner(benchmark, design, record_result):
     def run():
         output = {}
         for assigner in (IFAAssigner(), DFAAssigner()):
-            initial = assigner.assign_design(design)
+            initial = assign_design(assigner, design)
             result = FingerPadExchanger(design, params=SA).run(initial, seed=7)
             output[assigner.name] = (
                 max_density_of_design(result.after),

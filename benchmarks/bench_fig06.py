@@ -48,5 +48,5 @@ def test_fig6(benchmark, record_result):
         design, random_plan(design, seed=2009), config, net_type=None
     )
     lines.append("random plan drop map (textual Fig. 6(A)):")
-    lines.append(render_irdrop_map(solver.solve(nodes), max_cols=40))
+    lines.append(render_irdrop_map(solver.factorize(nodes).solve(), max_cols=40))
     record_result("fig06", "\n".join(lines))

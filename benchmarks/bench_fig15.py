@@ -6,6 +6,7 @@ export one SVG per method into ``results/`` and report the quantitative
 counterpart: max density and routed wirelength per method.
 """
 
+from repro.assign import assign_design
 from repro.assign import BestOfRandomAssigner, DFAAssigner, IFAAssigner
 from repro.circuits import CIRCUIT_2, build_design
 from repro.io import save_routing_svg
@@ -24,7 +25,7 @@ def test_fig15(benchmark, record_result, results_dir):
     def route_all():
         output = {}
         for assigner in assigners:
-            assignments = assigner.assign_design(design, seed=42)
+            assignments = assign_design(assigner, design, seed=42)
             output[assigner.name] = {
                 side: (assignment, router.route(assignment))
                 for side, assignment in assignments.items()

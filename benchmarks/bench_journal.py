@@ -27,6 +27,7 @@ regression diffing.  The gates always run — this is the
 
 from __future__ import annotations
 
+from repro.assign import assign_design
 import argparse
 import math
 import sys
@@ -145,7 +146,7 @@ def _anneal_times(repeats: int) -> Dict[str, float]:
                     finger_count=FINGER_COUNT),
         seed=0,
     )
-    baseline = DFAAssigner().assign_design(design)
+    baseline = assign_design(DFAAssigner(), design)
 
     def run(checkpoint: Optional[SACheckpointer]) -> float:
         exchanger = FingerPadExchanger(

@@ -19,6 +19,7 @@ non-zero otherwise (< 30 s wall clock).
 
 from __future__ import annotations
 
+from repro.assign import assign_design
 import argparse
 import random
 import sys
@@ -60,7 +61,7 @@ def measure_point(count: int, object_moves: int) -> dict:
     design = build_design(
         CircuitSpec(name=f"kernel{count}", finger_count=count), seed=0
     )
-    baseline = DFAAssigner().assign_design(design)
+    baseline = assign_design(DFAAssigner(), design)
 
     kernel = ArrayExchangeKernel(design, baseline)
     array_us = _timed_walk(kernel.propose, kernel.apply, kernel.cost, ARRAY_MOVES)

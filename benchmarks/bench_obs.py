@@ -19,6 +19,7 @@ figures to ``results/BENCH_obs.json``.  Wall clock well under 30 s.
 
 from __future__ import annotations
 
+from repro.assign import assign_design
 import math
 import random
 import sys
@@ -101,7 +102,7 @@ def measure() -> dict:
     design = build_design(
         CircuitSpec(name=f"obs{FINGER_COUNT}", finger_count=FINGER_COUNT), seed=0
     )
-    baseline = DFAAssigner().assign_design(design)
+    baseline = assign_design(DFAAssigner(), design)
     annealer = SimulatedAnnealer(PARAMS)
 
     def timed(fn) -> float:

@@ -8,6 +8,7 @@ design and the final assignment as JSON, and reloads them.
 Run:  python examples/custom_circuit.py
 """
 
+from repro.assign import assign_design
 import tempfile
 from pathlib import Path
 
@@ -60,7 +61,7 @@ def main() -> None:
     design = build_my_design()
     print(design.describe())
 
-    assignments = DFAAssigner().assign_design(design)
+    assignments = assign_design(DFAAssigner(), design)
     print("\nDFA result:")
     print(render_assignment(assignments[Side.BOTTOM]))
     print("max density:", max_density(assignments[Side.BOTTOM]))

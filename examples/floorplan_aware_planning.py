@@ -13,6 +13,7 @@ This example closes that loop with the pieces the library provides:
 Run:  python examples/floorplan_aware_planning.py
 """
 
+from repro.assign import assign_design
 from repro.assign import DFAAssigner
 from repro.circuits import CIRCUIT_2, build_design
 from repro.exchange import CostWeights, FingerPadExchanger, SAParams
@@ -50,9 +51,9 @@ def main() -> None:
 
     def max_drop(assignments) -> float:
         nodes = pad_nodes_for_grid(design, assignments, config, net_type=None)
-        return solver.solve(nodes).max_drop
+        return solver.factorize(nodes).solve().max_drop
 
-    initial = DFAAssigner().assign_design(design)
+    initial = assign_design(DFAAssigner(), design)
     print(f"after DFA:                    {fmt_mv(max_drop(initial))}")
 
     blind = FingerPadExchanger(
@@ -76,7 +77,7 @@ def main() -> None:
 
     nodes = pad_nodes_for_grid(design, aware.after, config, net_type=None)
     print("IR-drop map with the floorplan-aware plan:")
-    print(render_irdrop_map(solver.solve(nodes), max_cols=32))
+    print(render_irdrop_map(solver.factorize(nodes).solve(), max_cols=32))
 
 
 if __name__ == "__main__":

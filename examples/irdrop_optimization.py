@@ -43,7 +43,7 @@ def main() -> None:
 
     analyzer = IRDropAnalyzer(design, grid)
     print("IR-drop map after the exchange (dark = worse):")
-    print(render_irdrop_map(analyzer.solve(result.assignments_final), max_cols=32))
+    print(render_irdrop_map(analyzer.factorize(result.assignments_final).solve(), max_cols=32))
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ comparison (density + routed length).
 Run:  python examples/routing_visualization.py
 """
 
+from repro.assign import assign_design
 from pathlib import Path
 
 from repro.assign import BestOfRandomAssigner, DFAAssigner, IFAAssigner
@@ -43,7 +44,7 @@ def main() -> None:
     from repro.routing import route_design
     from repro.viz import save_package_svg
 
-    assignments = DFAAssigner().assign_design(design, seed=42)
+    assignments = assign_design(DFAAssigner(), design, seed=42)
     package_path = OUT_DIR / "package_dfa.svg"
     save_package_svg(design, assignments, route_design(assignments), package_path)
     print(f"\nwhole-package view: {package_path.name}")

@@ -17,8 +17,11 @@ keywords with the same meaning:
     :class:`~repro.runtime.Telemetry`, or a path-like — which opens a
     JSONL trace at that path for the duration of the call.
 ``backend=``
-    Exchange cost machinery: ``"auto"`` (default), ``"object"``,
-    ``"array"`` or ``"exact"`` (see :mod:`repro.kernels`).
+    Pipeline kernel selection: ``"auto"`` (default), ``"object"``,
+    ``"array"`` or ``"exact"`` (see :mod:`repro.kernels`).  One keyword
+    drives every stage — SA exchange cost machinery, staged assignment
+    and density estimation (``"exact"`` only means something to the
+    exchange stage; others treat it as ``"object"``).
 
 Typical session::
 
@@ -37,9 +40,10 @@ from __future__ import annotations
 import contextlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Protocol, Union, runtime_checkable
 
-from .assign import Assigner, DFAAssigner, IFAAssigner, RandomAssigner
+from .assign import DFAAssigner, IFAAssigner, RandomAssigner
+from .assign import assign_design as _assign_design
 from .errors import ReproError
 from .exchange import CostWeights, ExchangeResult, SAParams
 from .flow.codesign import CoDesignFlow, CoDesignResult
@@ -48,9 +52,13 @@ from .package import NetType, PackageDesign
 from .power import PowerGridConfig
 
 __all__ = [
+    "Assigner",
     "AssignResult",
+    "DensityEstimator",
     "EvaluateResult",
     "ExchangeOutcome",
+    "Factorization",
+    "IRSolver",
     "RunResult",
     "assign",
     "evaluate",
@@ -58,6 +66,56 @@ __all__ = [
     "load_design",
     "run",
 ]
+
+
+# -- staged solver protocols -------------------------------------------------
+#
+# The pipeline's three pre-exchange stages as structural interfaces.  Any
+# object with the right methods satisfies them (the stock implementations
+# do: repro.assign assigners, routing.MonotonicDensityEstimator,
+# power.FDSolver / power.IRDropAnalyzer, kernels.GridFactorization) — no
+# inheritance required, so alternative routers/solvers slot in without
+# importing repro internals.
+
+
+@runtime_checkable
+class Assigner(Protocol):
+    """Step-1 strategy: one monotonic-legal assignment per quadrant.
+
+    Design-level runs go through :func:`repro.assign.assign_design`
+    (or :func:`assign` here), which owns the per-quadrant seed derivation
+    and the ``backend=`` dispatch onto the array kernels.
+    """
+
+    def assign(self, quadrant, seed: Optional[int] = None):
+        """Produce an ``Assignment`` for *quadrant*."""
+
+
+@runtime_checkable
+class DensityEstimator(Protocol):
+    """Pre-route congestion model: assignment(s) -> max wire density."""
+
+    def max_density(self, assignment) -> int:
+        """Maximum run density of one quadrant assignment."""
+
+    def max_density_of_design(self, assignments: Dict) -> int:
+        """Maximum density across every quadrant of a design."""
+
+
+@runtime_checkable
+class Factorization(Protocol):
+    """Prefactorized power grid: cheap re-solves per injection vector."""
+
+    def solve(self, current_map=None):
+        """Solve one injection vector; returns an ``IRDropResult``."""
+
+
+@runtime_checkable
+class IRSolver(Protocol):
+    """Power-grid solver with an explicit factor-once / re-solve-many split."""
+
+    def factorize(self, pads) -> Factorization:
+        """Factor the grid for one pad configuration."""
 
 #: Assigner spellings accepted by ``assign()`` and ``run()``.
 _ASSIGNERS = {
@@ -255,13 +313,14 @@ def assign(
     seed: Optional[int] = None,
     verify: str = "off",
     telemetry=None,
+    backend: str = "auto",
 ) -> AssignResult:
     """Step 1: congestion-driven finger/pad assignment (DFA by default)."""
     from .obs.spans import span
 
     assigner = _resolve_assigner(method)
     with _telemetry_scope(telemetry), span("api.assign", assigner=assigner.name):
-        assignments = assigner.assign_design(design, seed=seed)
+        assignments = _assign_design(assigner, design, seed=seed, backend=backend)
         if verify != "off":
             from .verify import check_assignments, normalize
 
@@ -322,6 +381,7 @@ def evaluate(
     net_type: Optional[NetType] = NetType.POWER,
     verify: str = "off",
     telemetry=None,
+    backend: str = "auto",
 ) -> EvaluateResult:
     """Measure an assignment: density, wirelength, omega and IR-drop."""
     from .obs.spans import span
@@ -338,6 +398,7 @@ def evaluate(
             grid_config=_resolve_grid(grid),
             with_ir=with_ir,
             net_type=net_type,
+            backend=backend,
         )
         if verify != "off" and with_ir:
             from .verify import check_power_values

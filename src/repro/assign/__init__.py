@@ -23,10 +23,13 @@ from .legality import (
     swap_is_legal,
 )
 from .random_assign import BestOfRandomAssigner, RandomAssigner, best_of_random
+from .staged import assign_design, assign_quadrant
 
 __all__ = [
     "Assigner",
     "Assignment",
+    "assign_design",
+    "assign_quadrant",
     "BestOfRandomAssigner",
     "DFAAssigner",
     "ExhaustiveAssigner",

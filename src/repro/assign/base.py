@@ -9,6 +9,7 @@ mutates.  Slots are 1-based, left to right, matching the paper's
 from __future__ import annotations
 
 import abc
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import AssignmentError
@@ -99,9 +100,19 @@ class Assigner(abc.ABC):
         """
 
     def assign_design(self, design, seed: Optional[int] = None) -> Dict:
-        """Assign every quadrant of a design; returns ``{side: Assignment}``."""
-        results = {}
-        for index, (side, quadrant) in enumerate(design):
-            sub_seed = None if seed is None else seed + index
-            results[side] = self.assign(quadrant, seed=sub_seed)
-        return results
+        """Deprecated spelling of :func:`repro.assign.assign_design`.
+
+        The design walk moved to a module function so the staged pipeline
+        can dispatch per-stage backends; this method shim keeps the legacy
+        object path (``backend="object"``) byte-for-byte.
+        """
+        warnings.warn(
+            "Assigner.assign_design() is deprecated; call "
+            "repro.assign.assign_design(assigner, design, seed=..., "
+            "backend=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .staged import assign_design as staged_assign_design
+
+        return staged_assign_design(self, design, seed=seed, backend="object")

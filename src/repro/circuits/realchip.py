@@ -20,6 +20,7 @@ is the same code path a sign-off tool exercises.
 
 from __future__ import annotations
 
+from ..assign import assign_design
 import math
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -101,7 +102,7 @@ def build_realchip(seed: int = 2009) -> PackageDesign:
 
 def random_plan(design: PackageDesign, seed: int = 2009) -> Dict:
     """Fig. 6(A): a random (but monotonic-legal) finger/pad order."""
-    return RandomAssigner().assign_design(design, seed=seed)
+    return assign_design(RandomAssigner(), design, seed=seed)
 
 
 def regular_plan(design: PackageDesign, seed: int = 1) -> Dict:
@@ -113,7 +114,7 @@ def regular_plan(design: PackageDesign, seed: int = 1) -> Dict:
     exchange machinery as the optimized plan but scoring only the type-blind
     union of supply pads: no per-network awareness, no power-map knowledge.
     """
-    assignments = DFAAssigner().assign_design(design)
+    assignments = assign_design(DFAAssigner(), design)
     exchanger = FingerPadExchanger(
         design,
         weights=CostWeights(ir=1.0, density=0.05, bonding=0.0),
@@ -134,9 +135,9 @@ def drop_map_demand(design: PackageDesign, assignments: Dict, config, solver):
     boundary ring, so the exchange pulls supply pads towards the stretches
     that are actually starving (squared to emphasise the worst region).
     """
-    result = solver.solve(
+    result = solver.factorize(
         pad_nodes_for_grid(design, assignments, config, net_type=None)
-    )
+    ).solve()
     ring = config.boundary_ring()
     drops = np.array([result.drop_map[x, y] for (x, y) in ring])
     mean = drops.mean() or 1.0
@@ -166,7 +167,7 @@ def optimized_plan(
     weights the proxy towards hot boundary stretches
     (:func:`boundary_demand` or :func:`drop_map_demand`).
     """
-    assignments = DFAAssigner().assign_design(design)
+    assignments = assign_design(DFAAssigner(), design)
     if demand is None:
         ir_proxy = None  # the paper's uniform gap-spread proxy
     else:
@@ -213,7 +214,7 @@ def fd_descent_plan(
 
     def metric() -> float:
         nodes = pad_nodes_for_grid(design, plans, config, net_type=None)
-        return solver.solve(nodes).max_drop
+        return solver.factorize(nodes).solve().max_drop
 
     current = metric()
     for __ in range(max(1, passes)):
@@ -281,9 +282,9 @@ def run_fig6(seed: int = 2009, grid_size: int = 40) -> Fig6Result:
 
     def max_drop_mv(assignments: Dict) -> float:
         nodes = pad_nodes_for_grid(design, assignments, config, net_type=None)
-        return to_mv(solver.solve(nodes).max_drop)
+        return to_mv(solver.factorize(nodes).solve().max_drop)
 
-    initial = DFAAssigner().assign_design(design)
+    initial = assign_design(DFAAssigner(), design)
     demand = drop_map_demand(design, initial, config, solver)
     proxy_plan = optimized_plan(design, seed=seed, demand=demand)
     refined_plan = fd_descent_plan(design, proxy_plan, config, solver)

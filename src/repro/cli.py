@@ -26,6 +26,7 @@ adds per-job profiles to it (see docs/observability.md).
 
 from __future__ import annotations
 
+from .assign import assign_design
 import argparse
 import contextlib
 import os
@@ -452,7 +453,7 @@ def _assigner(name: str):
 
 def _cmd_assign(args) -> int:
     design = _load(args.design)
-    assignments = _assigner(args.method).assign_design(design, seed=args.seed)
+    assignments = assign_design(_assigner(args.method), design, seed=args.seed)
     print(design.describe())
     for side, assignment in assignments.items():
         print(f"{side.value}: {assignment.order}")
@@ -467,7 +468,7 @@ def _cmd_assign(args) -> int:
 
 def _cmd_route(args) -> int:
     design = _load(args.design)
-    assignments = _assigner(args.method).assign_design(design, seed=args.seed)
+    assignments = assign_design(_assigner(args.method), design, seed=args.seed)
     router = MonotonicRouter()
     total_length = 0.0
     worst = 0
@@ -510,7 +511,7 @@ def _cmd_drc(args) -> int:
     from .package.validate import check_design
 
     design = _load(args.design)
-    assignments = DFAAssigner().assign_design(design)
+    assignments = assign_design(DFAAssigner(), design)
     from .routing import max_density as quadrant_density
 
     densities = {

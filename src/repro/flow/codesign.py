@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..assign import Assigner, DFAAssigner
+from ..assign import Assigner, DFAAssigner, assign_design
 from ..errors import FlowError
 from ..exchange import (
     CostWeights,
@@ -130,7 +130,9 @@ class CoDesignFlow:
                 check_design(design).raise_if_errors()
 
             with span("flow.assign", telemetry):
-                initial = self.assigner.assign_design(design, seed=seed)
+                initial = assign_design(
+                    self.assigner, design, seed=seed, backend=self.backend
+                )
             if verifying:
                 initial = self._verified_assignments(
                     design, initial, stage="assignment", seed=seed
@@ -160,12 +162,14 @@ class CoDesignFlow:
                     exchange.before,
                     grid_config=self.grid_config,
                     net_type=self.net_type,
+                    backend=self.backend,
                 )
                 metrics_final = measure(
                     design,
                     exchange.after,
                     grid_config=self.grid_config,
                     net_type=self.net_type,
+                    backend=self.backend,
                 )
             if verifying:
                 from ..verify import check_power_values
@@ -232,7 +236,7 @@ class CoDesignFlow:
             if self.verify == DEGRADE and degradable:
                 from ..assign import IFAAssigner
 
-                fallback = IFAAssigner().assign_design(design, seed=seed)
+                fallback = assign_design(IFAAssigner(), design, seed=seed)
                 check_assignments(design, fallback).raise_if_errors()
                 telemetry.emit("verify.degrade", stage=stage, fallback="IFA")
                 telemetry.count("verify.degraded")

@@ -7,6 +7,7 @@ row reports (Random normalized to 1).
 
 from __future__ import annotations
 
+from ..assign import assign_design
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -97,7 +98,7 @@ def compare_assigners(
     table = ComparisonTable(baseline=assigners[0].name)
     for circuit_name, design in designs.items():
         for assigner in assigners:
-            assignments = assigner.assign_design(design, seed=seed)
+            assignments = assign_design(assigner, design, seed=seed)
             routed = route_design(assignments)
             table.runs.append(
                 AssignerRun(

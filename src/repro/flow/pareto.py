@@ -8,6 +8,7 @@ subset — the curve a designer actually picks from.
 
 from __future__ import annotations
 
+from ..assign import assign_design
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -75,7 +76,7 @@ def sweep_density_weight(
     seed: int = 7,
 ) -> TradeoffCurve:
     """Run the exchange once per density weight and collect the trade-off."""
-    initial = DFAAssigner().assign_design(design)
+    initial = assign_design(DFAAssigner(), design)
     analyzer = IRDropAnalyzer(design, grid_config=grid_config)
     curve = TradeoffCurve()
     for rho in weights:

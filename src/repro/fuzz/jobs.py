@@ -14,6 +14,7 @@ fresh pool workers without the fuzzer imported anywhere else.
 
 from __future__ import annotations
 
+from ..assign import assign_design
 from typing import Optional
 
 from ..runtime.spec import register_job_type
@@ -29,7 +30,7 @@ def run_fuzz_probe(params: dict, seed: Optional[int]):
 
     spec = CircuitSpec(**params["spec"])
     design = build_design(spec, seed=int(params.get("design_seed", 0)))
-    assignments = RandomAssigner().assign_design(design, seed=seed)
+    assignments = assign_design(RandomAssigner(), design, seed=seed)
     return {
         "circuit": spec.name,
         "max_density": max_density_of_design(assignments),

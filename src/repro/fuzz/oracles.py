@@ -16,6 +16,12 @@ Oracles
     Every emitted assignment — Random, IFA, DFA — must satisfy the
     monotonic rule *and* route through the real
     :class:`~repro.routing.MonotonicRouter`.
+``assign_parity`` / ``density_parity`` / ``irsolve_parity``
+    Staged-kernel differentials: object IFA/DFA vs the array assignment
+    kernels (order- and error-identical), the object density walk vs the
+    array run accumulation (count-identical), and the factor-once grid
+    solver vs the reference assemble-and-solve path (within 1e-9, for
+    both uniform and hotspot injection vectors).
 ``backends``
     Object vs array vs exact exchange backends under a shared seed must
     produce the identical accept/reject trace, final orders, and Eq.-3
@@ -40,6 +46,7 @@ import math
 import tempfile
 from typing import Callable, Dict, List
 
+from ..assign import assign_design
 from ..errors import ReproError
 from .gen import FuzzCase
 
@@ -77,7 +84,7 @@ def oracle_density(case: FuzzCase) -> List[str]:
     densities = {}
     for name, assigner in (("IFA", IFAAssigner()), ("DFA", DFAAssigner())):
         try:
-            assignments = assigner.assign_design(design, seed=case.run_seed)
+            assignments = assign_design(assigner, design, seed=case.run_seed)
         except ReproError as exc:
             problems.append(f"{name} raised on a buildable design: "
                             f"{type(exc).__name__}: {exc}")
@@ -112,7 +119,7 @@ def oracle_legality(case: FuzzCase) -> List[str]:
         ("DFA", DFAAssigner()),
     ):
         try:
-            assignments = assigner.assign_design(design, seed=case.run_seed)
+            assignments = assign_design(assigner, design, seed=case.run_seed)
         except ReproError as exc:
             problems.append(f"{name} raised on a buildable design: "
                             f"{type(exc).__name__}: {exc}")
@@ -131,6 +138,137 @@ def oracle_legality(case: FuzzCase) -> List[str]:
                     f"{name} {side.value}: emitted assignment does not "
                     f"route monotonically: {type(exc).__name__}: {exc}"
                 )
+    return problems
+
+
+# -- staged kernel parity --------------------------------------------------
+
+
+def oracle_assign_parity(case: FuzzCase) -> List[str]:
+    """Object IFA/DFA vs the array kernels: orders must be identical.
+
+    Also an error-parity check: a quadrant the object assigner refuses
+    (typed ``AssignmentError``) must be refused by the kernel too, and
+    vice versa — one backend succeeding where the other raises is a
+    divergence, not a skip.
+    """
+    from ..assign import DFAAssigner, IFAAssigner
+    from ..errors import AssignmentError
+    from ..kernels import dfa_order, ifa_order
+
+    design = _build_design(case)
+    cut_line_n = 1 + case.run_seed % 3
+    strategies = (
+        ("IFA", IFAAssigner(), lambda q: ifa_order(q)),
+        ("DFA", DFAAssigner(cut_line_n=cut_line_n),
+         lambda q: dfa_order(q, cut_line_n=cut_line_n)),
+    )
+    problems: List[str] = []
+    for side, quadrant in design:
+        for name, assigner, kernel in strategies:
+            expected, expected_error = None, None
+            try:
+                expected = assigner.assign(quadrant).order
+            except AssignmentError as exc:
+                expected_error = f"{type(exc).__name__}: {exc}"
+            got, got_error = None, None
+            try:
+                got = kernel(quadrant)
+            except AssignmentError as exc:
+                got_error = f"{type(exc).__name__}: {exc}"
+            if (expected_error is None) != (got_error is None):
+                problems.append(
+                    f"{name} {side.value}: object path "
+                    f"{expected_error or 'succeeded'} but kernel "
+                    f"{got_error or 'succeeded'}"
+                )
+            elif expected is not None and got != expected:
+                first = next(
+                    i for i, (a, b) in enumerate(zip(expected, got)) if a != b
+                )
+                problems.append(
+                    f"{name} {side.value}: kernel order diverges at slot "
+                    f"{first}: object net {expected[first]}, kernel net "
+                    f"{got[first]}"
+                )
+    return problems
+
+
+def oracle_density_parity(case: FuzzCase) -> List[str]:
+    """Object density walk vs the array accumulation: identical counts."""
+    from ..assign import DFAAssigner, RandomAssigner
+    from ..kernels import max_density_of_order
+    from ..routing import max_density
+
+    design = _build_design(case)
+    problems: List[str] = []
+    for name, assigner in (
+        ("Random", RandomAssigner()),
+        ("DFA", DFAAssigner()),
+    ):
+        try:
+            assignments = assign_design(
+                assigner, design, seed=case.run_seed, backend="object"
+            )
+        except ReproError as exc:
+            raise SkippedCase(f"{type(exc).__name__}: {exc}") from exc
+        for side, assignment in assignments.items():
+            expected = max_density(assignment, backend="object")
+            got = max_density_of_order(assignment.quadrant, assignment.order)
+            if got != expected:
+                problems.append(
+                    f"{name} {side.value}: array max density {got} != "
+                    f"object {expected}"
+                )
+    return problems
+
+
+def oracle_irsolve_parity(case: FuzzCase) -> List[str]:
+    """Factor-once grid solves vs the reference assemble-and-solve path.
+
+    The same factorization is re-solved for the uniform draw and for a
+    case-seeded hotspot current map; each must match a fresh
+    ``FDSolver`` object solve within ``BACKEND_RTOL``.
+    """
+    import numpy as np
+
+    from ..assign import DFAAssigner
+    from ..power import FDSolver, IRDropAnalyzer, PowerGridConfig
+    from ..power.pads import pad_nodes_for_grid
+
+    design = _build_design(case)
+    try:
+        assignments = assign_design(DFAAssigner(), design, seed=case.run_seed)
+    except ReproError as exc:
+        raise SkippedCase(f"{type(exc).__name__}: {exc}") from exc
+
+    grid = PowerGridConfig(size=12 + case.run_seed % 5)
+    try:
+        nodes = pad_nodes_for_grid(design, assignments, grid, net_type=None)
+    except ReproError as exc:
+        raise SkippedCase(f"{type(exc).__name__}: {exc}") from exc
+    if not nodes:
+        raise SkippedCase("case yields no supply pad nodes")
+    rng = np.random.default_rng(case.run_seed)
+    hotspot = np.abs(rng.normal(grid.j0, grid.j0 / 2, (grid.size, grid.size)))
+
+    problems: List[str] = []
+    factorization = FDSolver(grid).factorize(nodes)
+    for label, current_map in (("uniform", None), ("hotspot", hotspot)):
+        reference = FDSolver(grid, current_map=current_map)._solve_object(nodes)
+        resolved = factorization.solve(current_map)
+        error = float(np.abs(resolved.voltage - reference.voltage).max())
+        if not _close(resolved.max_drop, reference.max_drop) or \
+                error > BACKEND_RTOL * max(1.0, float(np.abs(reference.voltage).max())):
+            problems.append(
+                f"{label}: factorized solve drifts from the object solve "
+                f"(max |dV| = {error:.3e}, drops {resolved.max_drop!r} vs "
+                f"{reference.max_drop!r})"
+            )
+    # The analyzer's cached factorization must serve repeat evaluations.
+    analyzer = IRDropAnalyzer(design, grid_config=grid, net_type=None)
+    if analyzer.factorize(assignments) is not analyzer.factorize(assignments):
+        problems.append("IRDropAnalyzer.factorize does not reuse its cache")
     return problems
 
 
@@ -161,7 +299,7 @@ def oracle_backends(case: FuzzCase) -> List[str]:
 
     design = _build_design(case)
     try:
-        baseline = DFAAssigner().assign_design(design, seed=case.run_seed)
+        baseline = assign_design(DFAAssigner(), design, seed=case.run_seed)
     except ReproError as exc:
         raise SkippedCase(f"{type(exc).__name__}: {exc}") from exc
 
@@ -248,7 +386,7 @@ def oracle_checkpoint(case: FuzzCase) -> List[str]:
 
     design = _build_design(case)
     try:
-        baseline = DFAAssigner().assign_design(design, seed=case.run_seed)
+        baseline = assign_design(DFAAssigner(), design, seed=case.run_seed)
     except ReproError as exc:
         raise SkippedCase(f"{type(exc).__name__}: {exc}") from exc
 
@@ -490,6 +628,9 @@ def oracle_serve(case: FuzzCase) -> List[str]:
 ORACLES: Dict[str, Callable[[FuzzCase], List[str]]] = {
     "density": oracle_density,
     "legality": oracle_legality,
+    "assign_parity": oracle_assign_parity,
+    "density_parity": oracle_density_parity,
+    "irsolve_parity": oracle_irsolve_parity,
     "backends": oracle_backends,
     "checkpoint": oracle_checkpoint,
     "engine": oracle_engine,
@@ -498,6 +639,11 @@ ORACLES: Dict[str, Callable[[FuzzCase], List[str]]] = {
 
 #: Run oracle only on every Nth case (1 = every case).  The engine oracle
 #: spawns worker processes, the serve oracle spins a daemon + a full
-#: co-design run per case, and the checkpoint oracle anneals three times
-#: per case, so they sample.
-ORACLE_STRIDES: Dict[str, int] = {"engine": 8, "serve": 16, "checkpoint": 4}
+#: co-design run per case, the checkpoint oracle anneals three times per
+#: case, and the irsolve oracle factors grids, so they sample.
+ORACLE_STRIDES: Dict[str, int] = {
+    "engine": 8,
+    "serve": 16,
+    "checkpoint": 4,
+    "irsolve_parity": 2,
+}

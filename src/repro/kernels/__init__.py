@@ -1,9 +1,21 @@
-"""Array-backed exchange kernels (``repro.kernels``).
+"""Array-backed pipeline kernels (``repro.kernels``).
 
-High-throughput mirrors of the object-model cost evaluators: flat NumPy
-state plus O(1) incremental Eq.-3 deltas, proven move-for-move identical
-to the object backend under shared seeds.  ``resolve_backend`` implements
-the ``backend="auto"`` policy used by :class:`~repro.exchange.FingerPadExchanger`.
+High-throughput mirrors of the object-model pipeline stages: flat NumPy
+state plus vectorized inner loops, proven move-for-move (exchange),
+order-identical (assignment) or value-identical (density, IR solve) to
+the object backend.  ``resolve_backend`` implements the ``backend="auto"``
+policy used by :class:`~repro.exchange.FingerPadExchanger`;
+``resolve_stage_backend`` is the per-stage variant shared by the staged
+assignment/density entry points (same ``ARRAY_BACKEND_THRESHOLD``, but
+keyed on a plain element count instead of a design).
+
+Stage kernels:
+
+* :mod:`.exchange` — SA finger/pad exchange with O(1) Eq.-3 move deltas;
+* :mod:`.assign` — IFA (linked-list O(n)) and DFA (closed-form rank
+  recurrence) finger orders;
+* :mod:`.density` — run/interval congestion accumulation on int arrays;
+* :mod:`.irsolve` — factor-once / re-solve-many FD power-grid solver.
 """
 
 from __future__ import annotations
@@ -59,8 +71,35 @@ def resolve_backend(backend: str, design, ir_proxy=None) -> str:
     return "object"
 
 
+def resolve_stage_backend(backend: str, size: int) -> str:
+    """Per-stage ``backend=`` policy for assignment and density estimation.
+
+    Returns ``"object"`` or ``"array"``.  ``auto`` picks ``array`` for
+    stages touching at least ``ARRAY_BACKEND_THRESHOLD`` elements (nets)
+    when NumPy is importable; ``"exact"`` — meaningful only to the
+    exchange cost machinery — degrades to ``"object"`` so one flow-level
+    ``backend=`` keyword can drive every stage.
+    """
+    if backend not in BACKENDS:
+        raise ExchangeError(
+            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    if backend == "array":
+        if not HAVE_NUMPY:
+            raise ExchangeError("backend='array' requires numpy")
+        return "array"
+    if backend in ("object", "exact"):
+        return "object"
+    if HAVE_NUMPY and size >= ARRAY_BACKEND_THRESHOLD:
+        return "array"
+    return "object"
+
+
 if HAVE_NUMPY:
+    from .assign import dfa_order, ifa_order
+    from .density import design_max_density, max_density_of_order
     from .exchange import WL_RESYNC_INTERVAL, ArrayExchangeKernel
+    from .irsolve import GridFactorization, factorize_grid
     from .state import SideArrays, WatchedRow, build_side_arrays, row_run_counts
 
     __all__ = [
@@ -68,12 +107,25 @@ if HAVE_NUMPY:
         "BACKENDS",
         "HAVE_NUMPY",
         "resolve_backend",
+        "resolve_stage_backend",
         "ArrayExchangeKernel",
         "WL_RESYNC_INTERVAL",
         "SideArrays",
         "WatchedRow",
         "build_side_arrays",
         "row_run_counts",
+        "dfa_order",
+        "ifa_order",
+        "design_max_density",
+        "max_density_of_order",
+        "GridFactorization",
+        "factorize_grid",
     ]
 else:  # pragma: no cover
-    __all__ = ["ARRAY_BACKEND_THRESHOLD", "BACKENDS", "HAVE_NUMPY", "resolve_backend"]
+    __all__ = [
+        "ARRAY_BACKEND_THRESHOLD",
+        "BACKENDS",
+        "HAVE_NUMPY",
+        "resolve_backend",
+        "resolve_stage_backend",
+    ]

@@ -1,0 +1,149 @@
+"""Array-backed IFA/DFA assignment kernels (ROADMAP item 1, stage a).
+
+The object assigners are correct but Python-shaped: IFA pays a
+``list.insert`` per net (O(n^2) total) and DFA pays four Fenwick queries
+plus Python bookkeeping per net.  Both are order-*identical* here — the
+kernels compute the same slot for every net, proven by the ``assign_parity``
+fuzz oracle and the Table-2/3 regression tests — but on flat int arrays:
+
+``ifa_order``
+    IFA's "insert before the anchor ball of the row above" is a pure
+    linked-list operation once the anchor can be found in O(1).  The kernel
+    keeps ``next``/``prev`` arrays keyed by net index, so every insertion
+    (front, before-anchor, append) is O(1) and the whole pass is O(n).
+
+``dfa_order``
+    DFA's per-net Fenwick walk ("the (EN+1)-th unassigned slot after the
+    previous pick, leaving room for the rest of the row") collapses into a
+    closed-form prefix recurrence over *row-start* free ranks.  Writing
+    ``t_x`` for the rank (among the slots free when the row started) of the
+    x-th pick minus ``(x-1)``, the object code's ``skipped`` count equals
+    ``t_{x-1}`` exactly, and ``_pick_slot``'s clamp chain reduces to
+
+        t_x = min(max(EN_x, t_{x-1}), F - m)         t_0 = 0
+
+    where ``F`` is the free-slot count at row start and ``m`` the row's net
+    count.  The strictly-after-previous-pick constraint needs no ``+1``
+    term: it lives in the final ``rank_x = t_x + (x-1)`` (``t`` is
+    non-decreasing, so ranks strictly increase).  Because ``t`` is clamped
+    at ``F - m``, the object code's "no unassigned finger slot left" error
+    can only fire when ``F - m < 0`` — the reserve clamp keeps every later
+    net of a feasible row feasible.  Since ``EN_x >= 0``, the uncapped
+    recurrence is a plain running maximum — one ``np.maximum.accumulate`` —
+    and ranks map to slot indices with one vectorized rank-select per row
+    (``np.flatnonzero`` of the free mask), replacing every Fenwick query:
+    O(n) per row, O(n * rows) total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import AssignmentError
+from ..package import Quadrant
+
+__all__ = ["dfa_order", "ifa_order"]
+
+
+def ifa_order(quadrant: Quadrant) -> List[int]:
+    """The exact IFA finger order of *quadrant*, in O(n) (paper Fig. 9)."""
+    rows_top_down = quadrant.bumps.rows_top_down()
+    if not rows_top_down:
+        raise AssignmentError("quadrant has no bump rows")
+
+    count = quadrant.net_count
+    index_of: Dict[int, int] = {}
+    for row in rows_top_down:
+        for net_id in quadrant.row_nets(row):
+            index_of.setdefault(net_id, len(index_of))
+
+    # Doubly linked list over net indices; ``count`` is the head sentinel,
+    # ``count + 1`` the tail sentinel.
+    head, tail = count, count + 1
+    nxt = [tail] * (count + 2)
+    prv = [head] * (count + 2)
+    nxt[head], prv[tail] = tail, head
+
+    def link_before(node: int, anchor: int) -> None:
+        before = prv[anchor]
+        nxt[before], prv[node] = node, before
+        nxt[node], prv[anchor] = anchor, node
+
+    top_nets = quadrant.row_nets(rows_top_down[0])
+    for net_id in top_nets:
+        link_before(index_of[net_id], tail)
+    previous_row = top_nets
+
+    for row in rows_top_down[1:]:
+        nets = quadrant.row_nets(row)
+        m = len(nets)
+        # First ball of the row goes to F_1; everything else shifts right.
+        link_before(index_of[nets[0]], nxt[head])
+        # Middle balls: insert before the same-index ball of the row above;
+        # rows longer than the one above send the overflow to the tail.
+        for x in range(2, m):
+            net = nets[x - 1]
+            if x <= len(previous_row):
+                link_before(index_of[net], index_of[previous_row[x - 1]])
+            else:
+                link_before(index_of[net], tail)
+        # Last ball of the row is appended at the very end.
+        if m > 1:
+            link_before(index_of[nets[m - 1]], tail)
+        previous_row = nets
+
+    ids = list(index_of)
+    order: List[int] = []
+    node = nxt[head]
+    while node != tail:
+        order.append(ids[node])
+        node = nxt[node]
+    return order
+
+
+def dfa_order(quadrant: Quadrant, cut_line_n: int = 1) -> List[int]:
+    """The exact DFA finger order of *quadrant* (paper Fig. 11), batched.
+
+    Mirrors ``DFAAssigner.assign`` slot for slot, including the feasibility
+    clamps and the "no unassigned finger slot left for the row" error on
+    over-full rows — see the module docstring for the recurrence.
+    """
+    if cut_line_n < 1:
+        raise AssignmentError(f"cut-line parameter n must be >= 1, got {cut_line_n}")
+    rows_top_down = quadrant.bumps.rows_top_down()
+    if not rows_top_down:
+        raise AssignmentError("quadrant has no bump rows")
+
+    slot_count = quadrant.net_count
+    total_via_number = quadrant.bumps.row_size(rows_top_down[0]) + 1
+    segments = total_via_number + cut_line_n
+
+    slots = np.full(slot_count, -1, dtype=np.int64)
+    free = np.ones(slot_count, dtype=bool)
+    remaining = slot_count
+
+    for row in rows_top_down:
+        nets = quadrant.row_nets(row)
+        m = len(nets)
+        if m == 0:
+            continue
+        cap = remaining - m  # largest admissible row-start free rank - (x-1)
+        if cap < 0:
+            raise AssignmentError("no unassigned finger slot left for the row")
+        density_interval = max(0.0, cap / segments)
+        positions = np.arange(m, dtype=np.int64)
+        empty_numbers = np.floor(
+            np.arange(1, m + 1, dtype=np.float64) * density_interval
+        ).astype(np.int64)
+        # t_x = min(max(EN_x, t_{x-1}), cap): running max, then reserve clamp.
+        t = np.minimum(np.maximum.accumulate(empty_numbers), cap)
+        ranks = t + positions
+        row_slots = np.flatnonzero(free)[ranks]
+        free[row_slots] = False
+        slots[row_slots] = nets
+        remaining -= m
+
+    assert remaining == 0 and not free.any()
+    return slots.tolist()

@@ -91,6 +91,6 @@ def compare_packaging(
     wirebond = solver.solve_fractions(boundary_fractions)
 
     k = max(1, round(pad_count ** 0.5))
-    flipchip = solver.solve(area_pad_nodes(config, k))
+    flipchip = solver.factorize(area_pad_nodes(config, k)).solve()
 
     return PackagingComparison(wirebond=wirebond, flipchip=flipchip)

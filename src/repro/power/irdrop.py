@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional
 
 from ..package import NetType, PackageDesign
@@ -36,16 +37,33 @@ class IRDropAnalyzer:
             self.design, assignments, net_type=self.net_type
         )
 
-    def solve(self, assignments: Dict) -> IRDropResult:
-        """Full finite-difference IR-drop solve (paper Eq. 1)."""
+    def factorize(self, assignments: Dict):
+        """Prefactorized grid for this assignment's supply pads.
+
+        The returned :class:`~repro.kernels.irsolve.GridFactorization`
+        re-solves injection vectors without refactoring; factorizations
+        are cached on the underlying solver keyed by the pad set, so SA
+        evaluations that revisit a pad configuration pay backsolves only.
+        """
         nodes = pad_nodes_for_grid(
             self.design, assignments, self.grid_config, net_type=self.net_type
         )
-        return self._solver.solve(nodes)
+        return self._solver.factorize(nodes)
+
+    def solve(self, assignments: Dict) -> IRDropResult:
+        """Deprecated: use ``factorize(assignments).solve()`` instead."""
+        warnings.warn(
+            "IRDropAnalyzer.solve() is deprecated; use "
+            "IRDropAnalyzer.factorize(assignments).solve() for the "
+            "factor-once path",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.factorize(assignments).solve()
 
     def max_drop(self, assignments: Dict) -> float:
         """Maximum core IR-drop in volts for the given assignment."""
-        return self.solve(assignments).max_drop
+        return self.factorize(assignments).solve().max_drop
 
     def compact_cost(self, assignments: Dict) -> float:
         """The fast delta_IR proxy the exchange method optimizes."""

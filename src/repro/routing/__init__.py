@@ -2,6 +2,7 @@
 
 from .density import (
     DensityMap,
+    MonotonicDensityEstimator,
     RunDensity,
     density_map,
     max_density,
@@ -33,6 +34,7 @@ from .wirelength import (
 
 __all__ = [
     "DensityMap",
+    "MonotonicDensityEstimator",
     "MonotonicRouter",
     "RoutedNet",
     "RoutingResult",

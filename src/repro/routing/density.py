@@ -132,15 +132,63 @@ def density_map(assignment: Assignment, validate: bool = True) -> DensityMap:
     return result
 
 
-def max_density(assignment: Assignment, validate: bool = True) -> int:
-    """Shortcut: the maximum package density of an assignment."""
+def max_density(
+    assignment: Assignment, validate: bool = True, backend: str = "auto"
+) -> int:
+    """Shortcut: the maximum package density of an assignment.
+
+    ``backend`` follows the staged convention (``auto``/``object``/
+    ``array``); the array path accumulates the identical run/interval
+    structure on flat int arrays (:mod:`repro.kernels.density`) and is
+    value-identical — densities are integer counts.
+    """
+    from ..kernels import resolve_stage_backend
+
+    if resolve_stage_backend(backend, assignment.slot_count) == "array":
+        if validate:
+            check_legal(assignment)
+        from ..kernels import max_density_of_order
+
+        return max_density_of_order(assignment.quadrant, assignment.order)
     return density_map(assignment, validate=validate).max_density
 
 
-def max_density_of_design(assignments: Dict) -> int:
+def max_density_of_design(assignments: Dict, backend: str = "auto") -> int:
     """Maximum density across every quadrant of a design.
 
-    ``assignments`` maps sides to :class:`Assignment` objects, as produced by
-    :meth:`repro.assign.Assigner.assign_design`.
+    ``assignments`` maps sides to :class:`Assignment` objects, as produced
+    by :func:`repro.assign.assign_design`.
     """
-    return max(max_density(assignment) for assignment in assignments.values())
+    return max(
+        max_density(assignment, backend=backend)
+        for assignment in assignments.values()
+    )
+
+
+class MonotonicDensityEstimator:
+    """The paper's pre-route congestion model as a swappable staged stage.
+
+    Satisfies the :class:`repro.api.DensityEstimator` protocol; alternative
+    routers (e.g. a staircase/early-routability model) can provide their
+    own estimator with the same surface.
+    """
+
+    name = "monotonic"
+
+    def __init__(self, backend: str = "auto", validate: bool = True) -> None:
+        self.backend = backend
+        self.validate = validate
+
+    def density_map(self, assignment: Assignment) -> DensityMap:
+        """Full per-run congestion map (always the object representation)."""
+        return density_map(assignment, validate=self.validate)
+
+    def max_density(self, assignment: Assignment) -> int:
+        return max_density(
+            assignment, validate=self.validate, backend=self.backend
+        )
+
+    def max_density_of_design(self, assignments: Dict) -> int:
+        return max(
+            self.max_density(assignment) for assignment in assignments.values()
+        )

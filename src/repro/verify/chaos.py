@@ -18,6 +18,7 @@ for any ``chaos_*`` kind, so the faults also resolve inside pool workers.
 
 from __future__ import annotations
 
+from ..assign import assign_design
 import json
 import os
 import random
@@ -98,7 +99,7 @@ def _chaos_nan_cost(params: dict, seed: Optional[int]):
         ir_proxy=poisoned_ir_proxy,
         polish_passes=0,
     )
-    result = exchanger.run(DFAAssigner().assign_design(design, seed=seed), seed=seed)
+    result = exchanger.run(assign_design(DFAAssigner(), design, seed=seed), seed=seed)
     # Unreachable when the guard works: the poisoned proxy must trip
     # NonFiniteCostError long before the anneal completes.
     return {"best_cost": result.stats.best_cost}

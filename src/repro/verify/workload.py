@@ -11,6 +11,7 @@ The result is one merged :class:`VerificationReport` per workload.
 
 from __future__ import annotations
 
+from ..assign import assign_design
 from typing import Optional
 
 from ..errors import ReproError, VerificationError
@@ -32,7 +33,7 @@ def _check_table2_cell(spec, verify: str, report: VerificationReport) -> None:
     design = _build_circuit_design(dict(spec.params))
     check_design(design, report=report)
     assigner = _make_assigner(spec.params["assigner"])
-    assignments = assigner.assign_design(design, seed=spec.seed)
+    assignments = assign_design(assigner, design, seed=spec.seed)
     check_assignments(design, assignments, deep=True, report=report)
     fractions = supply_pad_fractions(design, assignments)
     check_power_values({"compact_ir_cost": compact_ir_cost(fractions)}, report=report)

@@ -6,6 +6,7 @@ uniform keywords must behave uniformly, and the legacy spellings it
 replaces must still work behind DeprecationWarning shims.
 """
 
+from repro.assign import assign_design
 import json
 import warnings
 
@@ -68,7 +69,7 @@ class TestAssignParity:
     ])
     def test_byte_identical_orders(self, design, method, legacy_cls):
         facade = api.assign(design, method=method, seed=42)
-        legacy = legacy_cls().assign_design(design, seed=42)
+        legacy = assign_design(legacy_cls(), design, seed=42)
         assert facade.orders() == {
             side.value: a.order for side, a in legacy.items()
         }
@@ -89,7 +90,7 @@ class TestAssignParity:
 
 class TestExchangeParity:
     def test_matches_exchanger(self, stacked):
-        baseline = DFAAssigner().assign_design(stacked)
+        baseline = assign_design(DFAAssigner(), stacked)
         facade = api.exchange(stacked, baseline, sa_params=FAST_SA, seed=9)
         legacy = FingerPadExchanger(stacked, params=FAST_SA).run(baseline, seed=9)
         assert {s: a.order for s, a in facade.after.items()} == {
@@ -99,7 +100,7 @@ class TestExchangeParity:
         assert facade.stats.accepted == legacy.stats.accepted
 
     def test_backend_keyword_is_parity_checked(self, stacked):
-        baseline = DFAAssigner().assign_design(stacked)
+        baseline = assign_design(DFAAssigner(), stacked)
         by_object = api.exchange(
             stacked, baseline, sa_params=FAST_SA, seed=9, backend="object"
         )
@@ -115,7 +116,7 @@ class TestExchangeParity:
 
 class TestEvaluateParity:
     def test_matches_measure(self, design):
-        assignments = DFAAssigner().assign_design(design)
+        assignments = assign_design(DFAAssigner(), design)
         grid = PowerGridConfig(size=16)
         facade = api.evaluate(design, assignments, grid=16)
         legacy = measure(design, assignments, grid_config=grid)
@@ -124,7 +125,7 @@ class TestEvaluateParity:
         assert facade.max_ir_drop == legacy.max_ir_drop
 
     def test_skip_ir(self, design):
-        assignments = DFAAssigner().assign_design(design)
+        assignments = assign_design(DFAAssigner(), design)
         facade = api.evaluate(design, assignments, with_ir=False)
         assert facade.max_ir_drop is None
 
@@ -165,7 +166,7 @@ class TestRunParity:
 
 class TestTelemetryKeyword:
     def test_path_opens_jsonl_trace(self, design, tmp_path):
-        baseline = DFAAssigner().assign_design(design)
+        baseline = assign_design(DFAAssigner(), design)
         trace = tmp_path / "trace.jsonl"
         api.exchange(design, baseline, sa_params=FAST_SA, seed=1, telemetry=trace)
         events = [json.loads(line) for line in trace.read_text().splitlines()]
@@ -175,7 +176,7 @@ class TestTelemetryKeyword:
     def test_telemetry_instance(self, design, tmp_path):
         from repro.runtime import JsonlSink, Telemetry
 
-        baseline = DFAAssigner().assign_design(design)
+        baseline = assign_design(DFAAssigner(), design)
         path = tmp_path / "t.jsonl"
         sink = JsonlSink(path)
         api.exchange(
@@ -234,7 +235,7 @@ class TestTopLevelExports:
 
 class TestCoDesignResultTyping:
     def test_metrics_default_to_none(self, design):
-        baseline = DFAAssigner().assign_design(design)
+        baseline = assign_design(DFAAssigner(), design)
         exchange = FingerPadExchanger(design, params=FAST_SA).run(baseline, seed=1)
         result = CoDesignResult(
             design=design,
@@ -246,7 +247,7 @@ class TestCoDesignResultTyping:
         assert result.metrics_final is None
 
     def test_properties_raise_flow_error_not_attribute_error(self, design):
-        baseline = DFAAssigner().assign_design(design)
+        baseline = assign_design(DFAAssigner(), design)
         exchange = FingerPadExchanger(design, params=FAST_SA).run(baseline, seed=1)
         result = CoDesignResult(
             design=design,

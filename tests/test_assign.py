@@ -1,5 +1,6 @@
 """Unit tests for the assignment algorithms, including the paper's examples."""
 
+from repro.assign import assign_design
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -209,7 +210,7 @@ class TestRandomAssigner:
 
 class TestAssignDesign:
     def test_covers_all_quadrants(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         assert set(assignments) == set(small_design.quadrants)
         for side, assignment in assignments.items():
             assert assignment.quadrant is small_design.quadrants[side]

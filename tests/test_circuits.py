@@ -1,5 +1,6 @@
 """Tests for the circuit generator, Table-1 specs and figure examples."""
 
+from repro.assign import assign_design
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -136,7 +137,7 @@ class TestBuildDesign:
 
     def test_designs_are_assignable(self):
         design = build_design(CIRCUIT_1, seed=0)
-        for assignment in DFAAssigner().assign_design(design).values():
+        for assignment in assign_design(DFAAssigner(), design).values():
             assert is_legal(assignment)
 
 

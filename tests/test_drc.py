@@ -1,5 +1,6 @@
 """Tests for design-rule checking."""
 
+from repro.assign import assign_design
 import pytest
 
 from repro.assign import DFAAssigner
@@ -39,7 +40,7 @@ class TestDRC:
         assert report.is_clean  # warning, not error
 
     def test_wire_capacity_rule(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         densities = {
             side: max_density(assignment)
             for side, assignment in assignments.items()

@@ -1,5 +1,6 @@
 """Tests for the exchange building blocks: omega, sections, annealer, moves."""
 
+from repro.assign import assign_design
 import random
 
 import pytest
@@ -66,7 +67,7 @@ class TestOmega:
         assert 0 <= value <= groups * psi
 
     def test_omega_of_design(self, stacked_design):
-        assignments = DFAAssigner().assign_design(stacked_design)
+        assignments = assign_design(DFAAssigner(), stacked_design)
         total = omega_of_design(assignments, 4)
         assert total == sum(
             omega_of_assignment(a, 4) for a in assignments.values()
@@ -111,7 +112,7 @@ class TestSections:
             tracker.increased_density(other)
 
     def test_design_tracker(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         tracker = DesignSectionTracker(assignments)
         assert tracker.increased_density(assignments) == 0
 
@@ -190,7 +191,7 @@ class TestAnnealer:
 
 class TestMoveGenerator:
     def test_moves_preserve_legality(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         generator = MoveGenerator(small_design, assignments)
         rng = random.Random(0)
         for __ in range(200):
@@ -204,7 +205,7 @@ class TestMoveGenerator:
             assert is_legal(assignment)
 
     def test_undo_restores(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         before = {side: a.order for side, a in assignments.items()}
         generator = MoveGenerator(small_design, assignments)
         rng = random.Random(1)
@@ -216,7 +217,7 @@ class TestMoveGenerator:
         assert {side: a.order for side, a in assignments.items()} == before
 
     def test_power_only_for_flat_ic(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         generator = MoveGenerator(small_design, assignments)
         assert generator.power_only  # psi == 1
         supply = {
@@ -228,7 +229,7 @@ class TestMoveGenerator:
         assert set(generator._collect_candidates()) == supply
 
     def test_all_pads_for_stacked_ic(self, stacked_design):
-        assignments = DFAAssigner().assign_design(stacked_design)
+        assignments = assign_design(DFAAssigner(), stacked_design)
         generator = MoveGenerator(stacked_design, assignments)
         assert not generator.power_only
         assert len(generator._collect_candidates()) == stacked_design.total_net_count
@@ -236,7 +237,7 @@ class TestMoveGenerator:
 
 class TestExchangeCost:
     def test_baseline_is_normalized(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         cost = ExchangeCost(small_design, assignments)
         breakdown = cost.breakdown(assignments)
         assert breakdown["ir"] == pytest.approx(1.0)
@@ -244,7 +245,7 @@ class TestExchangeCost:
         assert "bonding" not in breakdown  # psi == 1
 
     def test_stacked_has_bonding_term(self, stacked_design):
-        assignments = DFAAssigner().assign_design(stacked_design)
+        assignments = assign_design(DFAAssigner(), stacked_design)
         cost = ExchangeCost(stacked_design, assignments)
         breakdown = cost.breakdown(assignments)
         assert breakdown["bonding"] == pytest.approx(1.0)
@@ -254,7 +255,7 @@ class TestExchangeCost:
             CostWeights(ir=-1)
 
     def test_total_composition(self, stacked_design):
-        assignments = DFAAssigner().assign_design(stacked_design)
+        assignments = assign_design(DFAAssigner(), stacked_design)
         weights = CostWeights(ir=2.0, density=0.5, bonding=1.5)
         cost = ExchangeCost(stacked_design, assignments, weights=weights)
         breakdown = cost.breakdown(assignments)
@@ -266,7 +267,7 @@ class TestExchangeCost:
         assert breakdown["total"] == pytest.approx(expected)
 
     def test_split_networks_mode(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         cost = ExchangeCost(
             small_design, assignments, net_type=None, split_networks=True
         )

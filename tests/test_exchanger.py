@@ -1,5 +1,6 @@
 """End-to-end tests for the finger/pad exchange (paper Fig. 14)."""
 
+from repro.assign import assign_design
 import pytest
 
 from repro.assign import DFAAssigner, is_legal
@@ -17,24 +18,24 @@ FAST_SA = SAParams(initial_temp=0.03, final_temp=1e-3, cooling=0.9, moves_per_te
 
 class TestExchanger2D:
     def test_inputs_not_mutated(self, small_design):
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
         orders = {side: a.order for side, a in initial.items()}
         FingerPadExchanger(small_design, params=FAST_SA).run(initial, seed=1)
         assert {side: a.order for side, a in initial.items()} == orders
 
     def test_result_is_legal(self, small_design):
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
         result = FingerPadExchanger(small_design, params=FAST_SA).run(initial, seed=1)
         for assignment in result.after.values():
             assert is_legal(assignment)
 
     def test_best_cost_never_worse_than_initial(self, small_design):
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
         result = FingerPadExchanger(small_design, params=FAST_SA).run(initial, seed=1)
         assert result.stats.best_cost <= result.stats.initial_cost + 1e-9
 
     def test_compact_proxy_improves(self, small_design):
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
         exchanger = FingerPadExchanger(small_design, params=FAST_SA)
         result = exchanger.run(initial, seed=1)
         assert (
@@ -44,7 +45,7 @@ class TestExchanger2D:
 
     def test_ir_drop_improves_on_solver(self, small_design):
         """The headline Table-3 claim: exchange reduces solved IR-drop."""
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
         exchanger = FingerPadExchanger(
             small_design,
             params=SAParams(
@@ -57,14 +58,14 @@ class TestExchanger2D:
         assert improvement >= 0.0
 
     def test_density_growth_bounded(self, small_design):
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
         result = FingerPadExchanger(small_design, params=FAST_SA).run(initial, seed=1)
         before = max_density_of_design(result.before)
         after = max_density_of_design(result.after)
         assert after <= before + 4  # the ID term keeps growth modest
 
     def test_deterministic_given_seed(self, small_design):
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
         exchanger = FingerPadExchanger(small_design, params=FAST_SA)
         a = exchanger.run(initial, seed=5)
         b = exchanger.run(initial, seed=5)
@@ -75,7 +76,7 @@ class TestExchanger2D:
 
 class TestExchangerStacked:
     def test_bonding_improves(self, stacked_design):
-        initial = DFAAssigner().assign_design(stacked_design)
+        initial = assign_design(DFAAssigner(), stacked_design)
         exchanger = FingerPadExchanger(
             stacked_design,
             params=SAParams(
@@ -87,13 +88,13 @@ class TestExchangerStacked:
         assert result.bonding_improvement >= 0.0
 
     def test_omega_accounting(self, stacked_design):
-        initial = DFAAssigner().assign_design(stacked_design)
+        initial = assign_design(DFAAssigner(), stacked_design)
         result = FingerPadExchanger(stacked_design, params=FAST_SA).run(initial, seed=3)
         assert result.omega_before == omega_of_design(result.before, 4)
         assert result.omega_after == omega_of_design(result.after, 4)
 
     def test_all_pads_movable(self, stacked_design):
-        initial = DFAAssigner().assign_design(stacked_design)
+        initial = assign_design(DFAAssigner(), stacked_design)
         result = FingerPadExchanger(stacked_design, params=FAST_SA).run(initial, seed=3)
         moved_signal = False
         for side, assignment in result.after.items():
@@ -108,7 +109,7 @@ class TestExchangerStacked:
 
 class TestPolish:
     def test_polish_never_hurts(self, small_design):
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
         with_polish = FingerPadExchanger(
             small_design, params=FAST_SA, polish_passes=10
         ).run(initial, seed=2)

@@ -1,5 +1,6 @@
 """Equivalence and speed-sanity tests for the cached Eq.-3 evaluator."""
 
+from repro.assign import assign_design
 import random
 import time
 
@@ -20,7 +21,7 @@ FAST_SA = SAParams(initial_temp=0.03, final_temp=1e-3, cooling=0.9, moves_per_te
 
 def _random_walk_equivalence(design, steps, **cost_kwargs):
     """Apply random legal moves; exact and cached totals must agree."""
-    assignments = DFAAssigner().assign_design(design)
+    assignments = assign_design(DFAAssigner(), design)
     exact = ExchangeCost(design, assignments, **cost_kwargs)
     cached = CachedExchangeCost(design, assignments, **cost_kwargs)
     generator = MoveGenerator(design, assignments, power_only=False)
@@ -53,7 +54,7 @@ class TestEquivalence:
         _random_walk_equivalence(small_design, steps=80, track_all_rows=False)
 
     def test_breakdown_matches(self, stacked_design):
-        assignments = DFAAssigner().assign_design(stacked_design)
+        assignments = assign_design(DFAAssigner(), stacked_design)
         exact = ExchangeCost(stacked_design, assignments)
         cached = CachedExchangeCost(stacked_design, assignments)
         a = exact.breakdown(assignments)
@@ -62,7 +63,7 @@ class TestEquivalence:
             assert a[key] == pytest.approx(b[key])
 
     def test_undo_notification(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         exact = ExchangeCost(small_design, assignments)
         cached = CachedExchangeCost(small_design, assignments)
         generator = MoveGenerator(small_design, assignments, power_only=False)
@@ -81,7 +82,7 @@ class TestEquivalence:
 class TestExchangerIntegration:
     def test_incremental_matches_exact_exchange(self, small_design):
         """The whole exchange must be seed-identical with and without caching."""
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
         fast = FingerPadExchanger(
             small_design, params=FAST_SA, backend="object"
         ).run(initial, seed=9)
@@ -95,7 +96,7 @@ class TestExchangerIntegration:
 
     def test_incremental_is_not_slower(self, small_design):
         """Soft check: caching should not cost time (usually saves ~4x)."""
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
 
         def timed(backend):
             start = time.perf_counter()
@@ -114,7 +115,7 @@ class TestWirelengthTerm:
         from repro.assign import DFAAssigner
         from repro.exchange import CostWeights, ExchangeCost
 
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         cost = ExchangeCost(small_design, assignments)
         assert cost.wirelength_term(assignments) == 0.0
         assert "wirelength" not in cost.breakdown(assignments)
@@ -123,7 +124,7 @@ class TestWirelengthTerm:
         from repro.assign import DFAAssigner
         from repro.exchange import CostWeights, ExchangeCost
 
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         cost = ExchangeCost(
             small_design, assignments, weights=CostWeights(wirelength=1.0)
         )
@@ -143,7 +144,7 @@ class TestWirelengthTerm:
         from repro.exchange import CostWeights, FingerPadExchanger
         from repro.routing import total_flyline_length_of_design
 
-        initial = DFAAssigner().assign_design(stacked_design)
+        initial = assign_design(DFAAssigner(), stacked_design)
         base_length = total_flyline_length_of_design(initial)
         unguarded = FingerPadExchanger(
             stacked_design, params=FAST_SA,

@@ -1,5 +1,6 @@
 """Tests for the co-design flow, the comparison engine and reports."""
 
+from repro.assign import assign_design
 import pytest
 
 from repro.assign import DFAAssigner, IFAAssigner, BestOfRandomAssigner
@@ -27,7 +28,7 @@ def designs():
 
 class TestMeasure:
     def test_metrics_fields(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         metrics = measure(small_design, assignments, grid_config=SMALL_GRID)
         assert metrics.max_density > 0
         assert metrics.wirelength > 0
@@ -36,12 +37,12 @@ class TestMeasure:
         assert metrics.as_dict()["max_density"] == metrics.max_density
 
     def test_skip_ir(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         metrics = measure(small_design, assignments, with_ir=False)
         assert metrics.max_ir_drop is None
 
     def test_stacked_has_omega(self, stacked_design):
-        assignments = DFAAssigner().assign_design(stacked_design)
+        assignments = assign_design(DFAAssigner(), stacked_design)
         metrics = measure(
             stacked_design, assignments, grid_config=SMALL_GRID
         )

@@ -7,6 +7,7 @@ up here first — intentional changes must regenerate the corpus (see the
 module-level script in the repo history / DESIGN.md).
 """
 
+from repro.assign import assign_design
 import json
 from pathlib import Path
 
@@ -39,7 +40,7 @@ def load(name):
 def test_golden_metrics(name, assigner_name):
     design = load(name)
     expected = EXPECTED[name][assigner_name]
-    assignments = ASSIGNERS[assigner_name].assign_design(design, seed=5)
+    assignments = assign_design(ASSIGNERS[assigner_name], design, seed=5)
 
     orders = {side.value: a.order for side, a in assignments.items()}
     assert orders == expected["orders"]

@@ -1,5 +1,6 @@
 """Tests for the greedy exchanger and the per-net routing report."""
 
+from repro.assign import assign_design
 import pytest
 
 from repro.assign import DFAAssigner, is_legal
@@ -17,7 +18,7 @@ FAST_SA = SAParams(initial_temp=0.03, final_temp=1e-3, cooling=0.9, moves_per_te
 
 class TestGreedyExchanger:
     def test_never_worse_than_initial(self, small_design):
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
         result = GreedyExchanger(small_design).run(initial)
         assert (
             result.cost_breakdown_after["total"]
@@ -27,7 +28,7 @@ class TestGreedyExchanger:
             assert is_legal(assignment)
 
     def test_deterministic(self, small_design):
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
         a = GreedyExchanger(small_design).run(initial)
         b = GreedyExchanger(small_design).run(initial, seed=123)  # seed ignored
         assert {s: x.order for s, x in a.after.items()} == {
@@ -36,7 +37,7 @@ class TestGreedyExchanger:
 
     def test_sa_at_least_matches_greedy(self, small_design):
         """The annealer's whole point: it should not lose to hill-climbing."""
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
         greedy = GreedyExchanger(small_design).run(initial)
         annealed = FingerPadExchanger(small_design, params=FAST_SA).run(
             initial, seed=7

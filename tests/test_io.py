@@ -1,5 +1,6 @@
 """Tests for JSON/CSV/SVG serialization."""
 
+from repro.assign import assign_design
 import json
 
 import pytest
@@ -67,7 +68,7 @@ class TestDesignRoundtrip:
 
 class TestAssignmentRoundtrip:
     def test_roundtrip(self, small_design, tmp_path):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         path = tmp_path / "assign.json"
         save_assignments(assignments, path)
         rebuilt = load_assignments(path, small_design)
@@ -76,7 +77,7 @@ class TestAssignmentRoundtrip:
         }
 
     def test_dict_roundtrip(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         rebuilt = assignments_from_dict(
             assignments_to_dict(assignments), small_design
         )

@@ -19,6 +19,7 @@ Covers the crash-safety contract PR 7 added across the stack:
 
 from __future__ import annotations
 
+from repro.assign import assign_design
 import signal
 import time
 from pathlib import Path
@@ -302,7 +303,7 @@ class TestSACheckpointer:
         design = build_design(
             CircuitSpec(name="ckpt-resume", finger_count=32), seed=0
         )
-        baseline = DFAAssigner().assign_design(design)
+        baseline = assign_design(DFAAssigner(), design)
         params = SAParams(
             initial_temp=0.05, final_temp=0.01, cooling=0.8, moves_per_temp=40
         )

@@ -9,6 +9,7 @@ contract on every Table-2/Table-3 circuit and on hypothesis-generated
 designs.
 """
 
+from repro.assign import assign_design
 import random
 
 import numpy as np
@@ -104,7 +105,7 @@ class TestTraceParity:
     @pytest.mark.parametrize("tiers,index", ALL_CONFIGS)
     def test_all_table_circuits(self, tiers, index):
         design = circuit_design(index, tiers)
-        baseline = RandomAssigner().assign_design(design, seed=3)
+        baseline = assign_design(RandomAssigner(), design, seed=3)
         trace_o, final_o, stats_o = run_object_backend(
             design, baseline, FAST_SA, seed=9
         )
@@ -124,7 +125,7 @@ class TestTraceParity:
     def test_different_seeds_do_differ(self):
         """Sanity: the parity above is not a vacuous always-equal check."""
         design = circuit_design(1, 1)
-        baseline = RandomAssigner().assign_design(design, seed=3)
+        baseline = assign_design(RandomAssigner(), design, seed=3)
         trace_a, __, __, __ = run_array_backend(design, baseline, FAST_SA, seed=9)
         trace_b, __, __, __ = run_array_backend(design, baseline, FAST_SA, seed=10)
         assert trace_a != trace_b
@@ -136,7 +137,7 @@ class TestExchangerParity:
     @pytest.mark.parametrize("tiers,index", [(1, 1), (1, 3), (4, 1), (4, 3)])
     def test_final_assignments_identical(self, tiers, index):
         design = circuit_design(index, tiers)
-        baseline = DFAAssigner().assign_design(design)
+        baseline = assign_design(DFAAssigner(), design)
         result_o = FingerPadExchanger(
             design, params=FAST_SA, backend="object"
         ).run(baseline, seed=9)
@@ -155,7 +156,7 @@ class TestExchangerParity:
     def test_full_default_schedule(self):
         """One run at the paper's full SA schedule, not just the fast one."""
         design = circuit_design(1, 4)
-        baseline = DFAAssigner().assign_design(design)
+        baseline = assign_design(DFAAssigner(), design)
         result_o = FingerPadExchanger(design, backend="object").run(baseline, seed=7)
         result_a = FingerPadExchanger(design, backend="array").run(baseline, seed=7)
         assert {s: a.order for s, a in result_o.after.items()} == {
@@ -171,7 +172,7 @@ class TestDeltaExactness:
     )
     def test_random_walk_within_1e9(self, split, wirelength):
         design = circuit_design(3, 4)
-        baseline = RandomAssigner().assign_design(design, seed=3)
+        baseline = assign_design(RandomAssigner(), design, seed=3)
         weights = CostWeights(wirelength=wirelength)
         kernel = ArrayExchangeKernel(
             design, baseline, weights=weights, split_networks=split
@@ -195,7 +196,7 @@ class TestDeltaExactness:
 
     def test_undo_restores_exactly(self):
         design = circuit_design(2, 4)
-        baseline = RandomAssigner().assign_design(design, seed=3)
+        baseline = assign_design(RandomAssigner(), design, seed=3)
         kernel = ArrayExchangeKernel(design, baseline)
         start = kernel.cost()
         rng = random.Random(5)
@@ -215,7 +216,7 @@ class TestDeltaExactness:
 
     def test_snapshot_restore_roundtrip(self):
         design = circuit_design(1, 4)
-        baseline = RandomAssigner().assign_design(design, seed=3)
+        baseline = assign_design(RandomAssigner(), design, seed=3)
         kernel = ArrayExchangeKernel(design, baseline)
         snapshot = kernel.snapshot()
         cost_at_snapshot = kernel.cost()
@@ -229,7 +230,7 @@ class TestDeltaExactness:
 
     def test_self_check_against_verifier(self):
         design = circuit_design(2, 1)
-        baseline = DFAAssigner().assign_design(design)
+        baseline = assign_design(DFAAssigner(), design)
         kernel = ArrayExchangeKernel(design, baseline)
         rng = random.Random(4)
         for __ in range(120):
@@ -240,7 +241,7 @@ class TestDeltaExactness:
 
     def test_check_exchange_total_flags_drift(self):
         design = circuit_design(1, 1)
-        baseline = DFAAssigner().assign_design(design)
+        baseline = assign_design(DFAAssigner(), design)
         kernel = ArrayExchangeKernel(design, baseline)
         report = check_exchange_total(
             design, baseline, kernel.assignments(), kernel.cost() + 0.5
@@ -252,7 +253,7 @@ class TestDeltaExactness:
 class TestStateStructures:
     def test_row_run_counts_matches_run_partition(self):
         design = circuit_design(2, 1)
-        baseline = RandomAssigner().assign_design(design, seed=8)
+        baseline = assign_design(RandomAssigner(), design, seed=8)
         kernel = ArrayExchangeKernel(design, baseline)
         for arrays in kernel.sides:
             assignment = baseline[arrays.side]
@@ -267,7 +268,7 @@ class TestStateStructures:
 
     def test_orders_roundtrip(self):
         design = circuit_design(1, 1)
-        baseline = DFAAssigner().assign_design(design)
+        baseline = assign_design(DFAAssigner(), design)
         kernel = ArrayExchangeKernel(design, baseline)
         assert kernel.orders() == {
             side: a.order for side, a in baseline.items()
@@ -325,7 +326,7 @@ class TestPropertyParity:
             CircuitSpec(name=f"prop{count}", finger_count=count, tier_count=tiers),
             seed=seed,
         )
-        baseline = RandomAssigner().assign_design(design, seed=seed)
+        baseline = assign_design(RandomAssigner(), design, seed=seed)
         params = SAParams(
             initial_temp=0.03, final_temp=3e-3, cooling=0.85, moves_per_temp=30
         )
@@ -344,7 +345,7 @@ class TestPropertyParity:
             CircuitSpec(name=f"walk{count}", finger_count=count, tier_count=2),
             seed=seed,
         )
-        baseline = RandomAssigner().assign_design(design, seed=seed)
+        baseline = assign_design(RandomAssigner(), design, seed=seed)
         kernel = ArrayExchangeKernel(design, baseline)
         exact = ExchangeCost(design, baseline)
         current = {side: a.copy() for side, a in baseline.items()}
@@ -367,7 +368,7 @@ class TestKernelSpeed:
         design = build_design(
             CircuitSpec(name="speed", finger_count=896), seed=0
         )
-        baseline = DFAAssigner().assign_design(design)
+        baseline = assign_design(DFAAssigner(), design)
         moves = 300
 
         kernel = ArrayExchangeKernel(design, baseline)
@@ -427,7 +428,7 @@ class TestResyncCrossingParity:
             ),
             seed=0,
         )
-        baseline = DFAAssigner().assign_design(design, seed=0)
+        baseline = assign_design(DFAAssigner(), design, seed=0)
         weights = CostWeights(wirelength=1.0)
         original = kernel_module.WL_RESYNC_INTERVAL
         kernel_module.WL_RESYNC_INTERVAL = 5
@@ -453,7 +454,7 @@ class TestResyncCrossingParity:
 
     def test_constructor_interval_overrides_the_global(self):
         design = circuit_design(1, 1)
-        baseline = DFAAssigner().assign_design(design, seed=0)
+        baseline = assign_design(DFAAssigner(), design, seed=0)
         weights = CostWeights(wirelength=1.0)
         kernel = ArrayExchangeKernel(
             design, baseline, weights=weights, wl_resync_interval=1
@@ -470,6 +471,6 @@ class TestResyncCrossingParity:
 
     def test_bad_interval_rejected(self):
         design = circuit_design(1, 1)
-        baseline = DFAAssigner().assign_design(design, seed=0)
+        baseline = assign_design(DFAAssigner(), design, seed=0)
         with pytest.raises(ExchangeError):
             ArrayExchangeKernel(design, baseline, wl_resync_interval=0)

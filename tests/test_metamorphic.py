@@ -5,6 +5,7 @@ answer is known a priori (invariant, linear, or deliberately *not*
 invariant), catching bugs that example-based tests cannot.
 """
 
+from repro.assign import assign_design
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -130,7 +131,7 @@ class TestVerifierProperties:
         design = self._design(sizes)
         assert check_design(design).ok
         for assigner in (IFAAssigner(), DFAAssigner(), RandomAssigner()):
-            assignments = assigner.assign_design(design, seed=seed)
+            assignments = assign_design(assigner, design, seed=seed)
             report = check_assignments(design, assignments, deep=True)
             assert report.ok, f"{assigner.name}: {report.render()}"
 

@@ -1,5 +1,6 @@
 """Fine-grained behaviour of the exchange move generator."""
 
+from repro.assign import assign_design
 import random
 
 import pytest
@@ -15,21 +16,21 @@ class TestMoveGeneration:
         """A design whose only nets are signals has no 2-D moves."""
         quadrant = quadrant_from_rows([[0, 1, 2], [3, 4]])
         design = PackageDesign({Side.BOTTOM: quadrant})
-        assignments = DFAAssigner().assign_design(design)
+        assignments = assign_design(DFAAssigner(), design)
         generator = MoveGenerator(design, assignments)  # power_only for psi=1
         assert generator.propose(random.Random(0)) is None
 
     def test_power_override(self):
         quadrant = quadrant_from_rows([[0, 1, 2], [3, 4]], supply_ids=[1])
         design = PackageDesign({Side.BOTTOM: quadrant})
-        assignments = DFAAssigner().assign_design(design)
+        assignments = assign_design(DFAAssigner(), design)
         all_moves = MoveGenerator(design, assignments, power_only=False)
         assert len(all_moves._collect_candidates()) == 5
         only_power = MoveGenerator(design, assignments, power_only=True)
         assert len(only_power._collect_candidates()) == 1
 
     def test_moves_are_adjacent(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         generator = MoveGenerator(small_design, assignments, power_only=False)
         rng = random.Random(7)
         for __ in range(100):
@@ -41,7 +42,7 @@ class TestMoveGeneration:
         """A net at slot 1 can only swap right; the generator retries."""
         quadrant = quadrant_from_rows([[0, 1], [2]], supply_ids=[0, 1, 2])
         design = PackageDesign({Side.BOTTOM: quadrant})
-        assignments = DFAAssigner().assign_design(design)
+        assignments = assign_design(DFAAssigner(), design)
         generator = MoveGenerator(design, assignments, power_only=False)
         rng = random.Random(0)
         seen = set()
@@ -53,7 +54,7 @@ class TestMoveGeneration:
         assert seen  # some legal move exists (rows differ somewhere)
 
     def test_apply_undo_roundtrip_many(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         snapshot = {side: a.order for side, a in assignments.items()}
         generator = MoveGenerator(small_design, assignments, power_only=False)
         rng = random.Random(3)

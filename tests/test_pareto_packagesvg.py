@@ -1,5 +1,6 @@
 """Tests for the trade-off sweep and whole-package rendering."""
 
+from repro.assign import assign_design
 import pytest
 
 from repro.assign import DFAAssigner
@@ -55,7 +56,7 @@ class TestSweep:
 
 class TestPackageSVG:
     def test_full_package_render(self, small_design, tmp_path):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         results = route_design(assignments)
         svg = package_to_svg(small_design, assignments, results)
         assert svg.startswith("<svg")
@@ -65,7 +66,7 @@ class TestPackageSVG:
         assert path.read_text().endswith("</svg>")
 
     def test_supply_nets_colored(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         results = route_design(assignments)
         svg = package_to_svg(small_design, assignments, results)
         assert "#cc3311" in svg  # power

@@ -1,5 +1,6 @@
 """Tests for the net-to-quadrant partitioning pre-step."""
 
+from repro.assign import assign_design
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -90,7 +91,7 @@ class TestPartitionToDesign:
         }
         design = PackageDesign(quadrants, name="partitioned")
         assert design.total_net_count == 48
-        for assignment in DFAAssigner().assign_design(design).values():
+        for assignment in assign_design(DFAAssigner(), design).values():
             assert is_legal(assignment)
 
     def test_row_sizes_are_trapezoids(self):

@@ -39,51 +39,51 @@ class TestPowerGridConfig:
 class TestFDSolver:
     def test_requires_pads(self):
         with pytest.raises(PowerModelError):
-            FDSolver(PowerGridConfig(size=4)).solve([])
+            FDSolver(PowerGridConfig(size=4)).factorize([]).solve()
 
     def test_pad_outside_grid_rejected(self):
         with pytest.raises(PowerModelError):
-            FDSolver(PowerGridConfig(size=4)).solve([(9, 9)])
+            FDSolver(PowerGridConfig(size=4)).factorize([(9, 9)]).solve()
 
     def test_pads_held_at_vdd(self):
         config = PowerGridConfig(size=8, vdd=1.2)
-        result = FDSolver(config).solve([(0, 0)])
+        result = FDSolver(config).factorize([(0, 0)]).solve()
         assert result.voltage[0, 0] == pytest.approx(1.2)
         assert result.max_drop > 0
 
     def test_zero_current_means_zero_drop(self):
         config = PowerGridConfig(size=6, j0=0.0)
-        result = FDSolver(config).solve([(0, 0)])
+        result = FDSolver(config).factorize([(0, 0)]).solve()
         assert result.max_drop == pytest.approx(0.0, abs=1e-12)
 
     def test_drop_grows_with_current(self):
-        small = FDSolver(PowerGridConfig(size=8, j0=1e-5)).solve([(0, 0)])
-        large = FDSolver(PowerGridConfig(size=8, j0=2e-5)).solve([(0, 0)])
+        small = FDSolver(PowerGridConfig(size=8, j0=1e-5)).factorize([(0, 0)]).solve()
+        large = FDSolver(PowerGridConfig(size=8, j0=2e-5)).factorize([(0, 0)]).solve()
         assert large.max_drop == pytest.approx(2 * small.max_drop, rel=1e-6)
 
     def test_more_pads_reduce_drop(self):
         config = PowerGridConfig(size=10)
         ring = config.boundary_ring()
-        few = FDSolver(config).solve(ring[:1])
-        many = FDSolver(config).solve(ring[::4])
+        few = FDSolver(config).factorize(ring[:1]).solve()
+        many = FDSolver(config).factorize(ring[::4]).solve()
         assert many.max_drop < few.max_drop
 
     def test_worst_node_far_from_pad(self):
         config = PowerGridConfig(size=9)
-        result = FDSolver(config).solve([(0, 0)])
+        result = FDSolver(config).factorize([(0, 0)]).solve()
         x, y = result.worst_node()
         assert x + y > config.size  # opposite corner region
 
     def test_symmetry(self):
         # pads at two opposite corners -> symmetric voltage map
         config = PowerGridConfig(size=7)
-        result = FDSolver(config).solve([(0, 0), (6, 6)])
+        result = FDSolver(config).factorize([(0, 0), (6, 6)]).solve()
         assert result.voltage[0, 6] == pytest.approx(result.voltage[6, 0], rel=1e-9)
 
     def test_all_nodes_padded(self):
         config = PowerGridConfig(size=3)
         all_nodes = [(x, y) for x in range(3) for y in range(3)]
-        result = FDSolver(config).solve(all_nodes)
+        result = FDSolver(config).factorize(all_nodes).solve()
         assert result.max_drop == pytest.approx(0.0)
 
     def test_solve_fractions(self):
@@ -93,15 +93,15 @@ class TestFDSolver:
 
     def test_mean_drop_below_max(self):
         config = PowerGridConfig(size=10)
-        result = FDSolver(config).solve([(0, 0)])
+        result = FDSolver(config).factorize([(0, 0)]).solve()
         assert 0 < result.mean_drop <= result.max_drop
 
     def test_current_map_override(self):
         config = PowerGridConfig(size=8, j0=1e-5)
-        uniform = FDSolver(config).solve([(0, 0)])
+        uniform = FDSolver(config).factorize([(0, 0)]).solve()
         hot = np.full((8, 8), 1e-5)
         hot[4:, 4:] *= 10
-        hotter = FDSolver(config, current_map=hot).solve([(0, 0)])
+        hotter = FDSolver(config, current_map=hot).factorize([(0, 0)]).solve()
         assert hotter.max_drop > uniform.max_drop
 
     def test_current_map_shape_checked(self):
@@ -114,6 +114,6 @@ class TestFDSolver:
     def test_maximum_principle(self):
         # voltage everywhere between min pad voltage and vdd
         config = PowerGridConfig(size=12)
-        result = FDSolver(config).solve([(0, 0), (11, 11)])
+        result = FDSolver(config).factorize([(0, 0), (11, 11)]).solve()
         assert result.voltage.max() <= config.vdd + 1e-12
         assert (result.drop_map >= -1e-12).all()

@@ -1,5 +1,6 @@
 """Tests for the pad-to-boundary-ring mapping and the IR-drop analyzer."""
 
+from repro.assign import assign_design
 import pytest
 
 from repro.assign import DFAAssigner, RandomAssigner
@@ -15,13 +16,13 @@ from repro.power import (
 
 class TestSupplyPadFractions:
     def test_fractions_in_unit_interval(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         fractions = supply_pad_fractions(small_design, assignments)
         assert fractions
         assert all(0 <= f < 1 for f in fractions)
 
     def test_both_networks_when_none(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         power = supply_pad_fractions(small_design, assignments, net_type=NetType.POWER)
         ground = supply_pad_fractions(
             small_design, assignments, net_type=NetType.GROUND
@@ -34,7 +35,7 @@ class TestSupplyPadFractions:
             supply_pad_fractions(small_design, {})
 
     def test_moving_a_power_pad_moves_its_fraction(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         before = sorted(
             supply_pad_fractions(small_design, assignments, net_type=None)
         )
@@ -62,7 +63,7 @@ class TestSupplyPadFractions:
         assert before != after
 
     def test_pad_nodes_on_boundary(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         config = PowerGridConfig(size=16)
         nodes = pad_nodes_for_grid(small_design, assignments, config)
         g = config.size
@@ -72,28 +73,28 @@ class TestSupplyPadFractions:
 
 class TestIRDropAnalyzer:
     def test_solve_and_max_drop(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         analyzer = IRDropAnalyzer(small_design, PowerGridConfig(size=16))
-        result = analyzer.solve(assignments)
+        result = analyzer.factorize(assignments).solve()
         assert result.max_drop == analyzer.max_drop(assignments)
         assert result.max_drop > 0
 
     def test_compact_cost_positive(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         analyzer = IRDropAnalyzer(small_design, PowerGridConfig(size=16))
         assert analyzer.compact_cost(assignments) > 0
 
     def test_improvement_sign(self, small_design):
         analyzer = IRDropAnalyzer(small_design, PowerGridConfig(size=16))
-        a = RandomAssigner().assign_design(small_design, seed=0)
-        b = RandomAssigner().assign_design(small_design, seed=1)
+        a = assign_design(RandomAssigner(), small_design, seed=0)
+        b = assign_design(RandomAssigner(), small_design, seed=1)
         improvement = analyzer.improvement(a, b)
         assert improvement == pytest.approx(
             1 - analyzer.max_drop(b) / analyzer.max_drop(a)
         )
 
     def test_pad_fractions_shortcut(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         analyzer = IRDropAnalyzer(small_design, PowerGridConfig(size=16))
         assert analyzer.pad_fractions(assignments) == supply_pad_fractions(
             small_design, assignments, net_type=NetType.POWER

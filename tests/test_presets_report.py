@@ -1,5 +1,6 @@
 """Tests for presets and the one-shot report generator."""
 
+from repro.assign import assign_design
 import pytest
 
 from repro.assign import DFAAssigner
@@ -22,7 +23,7 @@ class TestPresets:
     def test_make_exchanger(self, small_design):
         exchanger = FAST.make_exchanger(small_design)
         assert isinstance(exchanger, FingerPadExchanger)
-        initial = DFAAssigner().assign_design(small_design)
+        initial = assign_design(DFAAssigner(), small_design)
         result = exchanger.run(initial, seed=1)
         assert result.stats.best_cost <= result.stats.initial_cost + 1e-9
 

@@ -1,5 +1,6 @@
 """Cross-module property tests on generated designs (hypothesis)."""
 
+from repro.assign import assign_design
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -61,7 +62,7 @@ class TestGeneratedDesigns:
     def test_assignment_pipeline_invariants(self, count, seed):
         design = build(count, seed)
         for assigner in (RandomAssigner(), IFAAssigner(), DFAAssigner()):
-            assignments = assigner.assign_design(design, seed=seed)
+            assignments = assign_design(assigner, design, seed=seed)
             for assignment in assignments.values():
                 assert is_legal(assignment)
             assert max_density_of_design(assignments) >= 1
@@ -75,7 +76,7 @@ class TestGeneratedDesigns:
         assert [n.tier for n in rebuilt.all_nets()] == [
             n.tier for n in design.all_nets()
         ]
-        assignments = DFAAssigner().assign_design(design)
+        assignments = assign_design(DFAAssigner(), design)
         rebuilt_assignments = assignments_from_dict(
             assignments_to_dict(assignments), rebuilt
         )

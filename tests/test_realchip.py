@@ -1,5 +1,6 @@
 """Tests for the Fig.-6 real-chip substitute."""
 
+from repro.assign import assign_design
 import numpy as np
 import pytest
 
@@ -77,7 +78,7 @@ class TestPlans:
 
     def test_drop_map_demand_is_positive(self, chip, solver):
         config, fd = solver
-        plan = DFAAssigner().assign_design(chip)
+        plan = assign_design(DFAAssigner(), chip)
         demand = drop_map_demand(chip, plan, config, fd)
         values = [demand(t / 10) for t in range(10)]
         assert all(v > 0 for v in values)
@@ -85,11 +86,11 @@ class TestPlans:
 
     def test_fd_descent_never_hurts(self, chip, solver):
         config, fd = solver
-        plan = DFAAssigner().assign_design(chip)
+        plan = assign_design(DFAAssigner(), chip)
 
         def drop(assignments):
             nodes = pad_nodes_for_grid(chip, assignments, config, net_type=None)
-            return fd.solve(nodes).max_drop
+            return fd.factorize(nodes).solve().max_drop
 
         before = drop(plan)
         refined = fd_descent_plan(chip, plan, config, fd, passes=2)
@@ -105,11 +106,11 @@ class TestFig6Shape:
 
         def drop(assignments):
             nodes = pad_nodes_for_grid(chip, assignments, config, net_type=None)
-            return fd.solve(nodes).max_drop
+            return fd.factorize(nodes).solve().max_drop
 
         a = drop(random_plan(chip, seed=2009))
         b = drop(regular_plan(chip))
-        initial = DFAAssigner().assign_design(chip)
+        initial = assign_design(DFAAssigner(), chip)
         demand = drop_map_demand(chip, initial, config, fd)
         proxy_plan = optimized_plan(chip, seed=2009, params=FAST_SA, demand=demand)
         c = drop(fd_descent_plan(chip, proxy_plan, config, fd, passes=3))

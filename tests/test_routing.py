@@ -1,5 +1,6 @@
 """Tests for density estimation and the monotonic router."""
 
+from repro.assign import assign_design
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -165,7 +166,7 @@ class TestWirelength:
 
 class TestDesignLevel:
     def test_route_design_and_aggregates(self, small_design):
-        assignments = DFAAssigner().assign_design(small_design)
+        assignments = assign_design(DFAAssigner(), small_design)
         results = route_design(assignments)
         assert set(results) == set(assignments)
         assert max_density_of_design(assignments) == max(

@@ -8,6 +8,7 @@ SA annealer.
 
 from __future__ import annotations
 
+from repro.assign import assign_design
 import json
 import os
 
@@ -80,7 +81,7 @@ def _anneal_tiny_job(params, seed):
     assignments = {}
     from repro.assign import DFAAssigner
 
-    assignments = DFAAssigner().assign_design(design, seed=seed)
+    assignments = assign_design(DFAAssigner(), design, seed=seed)
     result = exchanger.run(assignments, seed=seed)
     return {"best_cost": result.stats.best_cost}
 

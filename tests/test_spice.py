@@ -51,7 +51,7 @@ class TestDenseCrossValidation:
     def test_matches_sparse_solver_uniform(self):
         config = PowerGridConfig(size=12, j0=2e-5)
         pads = [(0, 0), (11, 5), (3, 11)]
-        sparse = FDSolver(config).solve(pads)
+        sparse = FDSolver(config).factorize(pads).solve()
         dense = DenseSolver(config).solve(pads)
         assert np.allclose(sparse.voltage, dense.voltage, atol=1e-10)
         assert sparse.max_drop == pytest.approx(dense.max_drop, abs=1e-12)
@@ -61,7 +61,7 @@ class TestDenseCrossValidation:
         current = np.full((10, 10), 1e-5)
         current[6:9, 6:9] = 2e-4
         pads = [(0, 0), (9, 9)]
-        sparse = FDSolver(config, current_map=current).solve(pads)
+        sparse = FDSolver(config, current_map=current).factorize(pads).solve()
         dense = DenseSolver(config, current_map=current).solve(pads)
         assert np.allclose(sparse.voltage, dense.voltage, atol=1e-10)
 

@@ -5,6 +5,7 @@ this guards the O(n log n) paths — generation, assignment, density,
 routing, spacing — against quadratic blow-ups and invariant drift at size.
 """
 
+from repro.assign import assign_design
 import time
 
 import pytest
@@ -32,16 +33,16 @@ class TestAtScale:
 
     def test_assignment_speed_and_legality(self, big_design):
         start = time.perf_counter()
-        assignments = DFAAssigner().assign_design(big_design)
+        assignments = assign_design(DFAAssigner(), big_design)
         elapsed = time.perf_counter() - start
         assert elapsed < 2.0  # seconds; the Fenwick path keeps this trivial
         for assignment in assignments.values():
             assert is_legal(assignment)
 
     def test_density_stays_at_floor(self, big_design):
-        dfa = DFAAssigner().assign_design(big_design)
-        ifa = IFAAssigner().assign_design(big_design)
-        random_assignments = RandomAssigner().assign_design(big_design, seed=0)
+        dfa = assign_design(DFAAssigner(), big_design)
+        ifa = assign_design(IFAAssigner(), big_design)
+        random_assignments = assign_design(RandomAssigner(), big_design, seed=0)
         assert max_density_of_design(dfa) <= 6
         assert max_density_of_design(ifa) <= 8
         assert max_density_of_design(random_assignments) > max_density_of_design(dfa)

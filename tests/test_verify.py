@@ -5,6 +5,7 @@ every corruption we can fabricate, with stable machine-readable codes.
 The repair must restore legality without changing the density footprint.
 """
 
+from repro.assign import assign_design
 import math
 
 import pytest
@@ -103,13 +104,13 @@ class TestCheckDesign:
 class TestCheckAssignments:
     def test_dfa_output_passes_deep_check(self):
         design = build_design(table1_circuit(1), seed=0)
-        assignments = DFAAssigner().assign_design(design, seed=0)
+        assignments = assign_design(DFAAssigner(), design, seed=0)
         report = check_assignments(design, assignments, deep=True)
         assert report.ok, report.render()
 
     def test_ifa_output_passes_deep_check(self):
         design = small_design()
-        assignments = IFAAssigner().assign_design(design, seed=0)
+        assignments = assign_design(IFAAssigner(), design, seed=0)
         assert check_assignments(design, assignments, deep=True).ok
 
     def test_missing_side(self):
@@ -119,7 +120,7 @@ class TestCheckAssignments:
 
     def test_extra_side(self):
         design = small_design()
-        assignments = DFAAssigner().assign_design(design)
+        assignments = assign_design(DFAAssigner(), design)
         assignments[Side.TOP] = assignments[Side.BOTTOM]
         report = check_assignments(design, assignments)
         assert "assign.extra-side" in report.codes("error")
@@ -133,7 +134,7 @@ class TestCheckAssignments:
 
     def test_not_bijective_after_mutation(self):
         design = small_design()
-        assignments = DFAAssigner().assign_design(design)
+        assignments = assign_design(DFAAssigner(), design)
         # corrupt the internal order the way a buggy in-place mutation would
         assignments[Side.BOTTOM]._order[0] = assignments[Side.BOTTOM]._order[1]
         report = check_assignments(design, assignments, deep=False)
@@ -231,7 +232,7 @@ class TestRepair:
 
     def test_repair_is_noop_on_legal_assignment(self):
         design = small_design()
-        assignments = DFAAssigner().assign_design(design)
+        assignments = assign_design(DFAAssigner(), design)
         moved = repair_assignments(design, assignments)
         assert sum(moved.values()) == 0
         assert check_assignments(design, assignments, deep=False).ok

@@ -50,7 +50,7 @@ class TestAsciiArt:
 class TestHeatMaps:
     def test_irdrop_map(self):
         config = PowerGridConfig(size=16)
-        result = FDSolver(config).solve([(0, 0)])
+        result = FDSolver(config).factorize([(0, 0)]).solve()
         text = render_irdrop_map(result)
         assert "max IR-drop" in text
         assert len(text.splitlines()) == 17  # header + 16 rows
