@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test check bench bench-smoke bench-kernel bench-pipeline bench-obs bench-serve bench-journal serve-smoke crash-smoke fuzz-smoke report examples clean
+.PHONY: install test check bench bench-smoke bench-kernel bench-pipeline bench-obs bench-serve bench-journal bench-ledger serve-smoke scrape-smoke crash-smoke fuzz-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -49,6 +49,22 @@ bench-obs:
 # and require a clean drain with exit code 143 (see docs/serving.md).
 serve-smoke:
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro.serve.smoke
+
+# Telemetry-plane smoke (<60 s): start a real daemon, submit a job, GET
+# /metrics, run the exposition through the promtool-style validator, and
+# require the request-latency histogram and queue gauges to show the
+# traffic; then SIGTERM -> 143 (see docs/observability.md).
+scrape-smoke:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro.serve.scrape_smoke
+
+# Perf-regression ledger gate (<5 min): run every registered bench, append
+# schema-versioned records (git rev, seed, host fingerprint) to
+# results/BENCH_history.jsonl, then gate the newest records against the
+# committed results/BENCH_baseline.json (see docs/observability.md).
+bench-ledger:
+	@mkdir -p results
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro bench run
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro bench compare --gate 20
 
 # kill -9 recovery smoke (<90 s): SIGKILL a journaled daemon mid-stream,
 # restart it on the same journal + cache, and require every submitted

@@ -30,10 +30,21 @@ def run_fig6_engine():
     return fig6_result(engine.run(fig6_specs(seed=2009)))
 
 
-def test_fig6(benchmark, record_result):
+def test_fig6(benchmark, record_result, record_bench):
     result = benchmark.pedantic(run_fig6_engine, rounds=1, iterations=1)
 
     assert result.optimized_mv <= result.regular_mv <= result.random_mv
+    record_bench(
+        "fig06",
+        {
+            "random_mv": round(result.random_mv, 4),
+            "regular_mv": round(result.regular_mv, 4),
+            "optimized_mv": round(result.optimized_mv, 4),
+        },
+        seed=2009,
+        context={"paper_mv": {"random": 117.4, "regular": 77.3,
+                              "optimized": 55.2}},
+    )
 
     lines = ["plan                      measured    paper"]
     for name, measured, paper in result.as_rows():

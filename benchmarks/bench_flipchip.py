@@ -9,20 +9,50 @@ across die sizes with a matched supply-pad budget.
 from repro.power import PowerGridConfig, compare_packaging
 from repro.units import to_mv
 
+SIZES = (16, 24, 32, 48)
+PAD_COUNT = 16
 
-def test_flipchip_gap(benchmark, record_result):
-    sizes = (16, 24, 32, 48)
-    pad_count = 16
+#: Perf-ledger registration: the comparison is deterministic physics, so
+#: these metrics gate exactly (absolute bounds in the committed baseline).
+LEDGER_GATED = {"advantage_48": "higher", "advantage_16": "higher"}
+LEDGER_SEED = 0
 
-    def run():
-        return {
-            size: compare_packaging(
-                PowerGridConfig(size=size, j0=5e-5), pad_count=pad_count
-            )
-            for size in sizes
-        }
 
-    comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
+def _compare_all():
+    return {
+        size: compare_packaging(
+            PowerGridConfig(size=size, j0=5e-5), pad_count=PAD_COUNT
+        )
+        for size in SIZES
+    }
+
+
+def _metrics(comparisons) -> dict:
+    metrics = {}
+    for size, comparison in comparisons.items():
+        metrics[f"advantage_{size}"] = round(comparison.flipchip_advantage, 6)
+        metrics[f"wirebond_mv_{size}"] = round(
+            to_mv(comparison.wirebond_max_drop), 4
+        )
+        metrics[f"flipchip_mv_{size}"] = round(
+            to_mv(comparison.flipchip_max_drop), 4
+        )
+    return metrics
+
+
+def ledger_metrics() -> dict:
+    return _metrics(_compare_all())
+
+
+def test_flipchip_gap(benchmark, record_result, record_bench):
+    sizes = SIZES
+    pad_count = PAD_COUNT
+
+    comparisons = benchmark.pedantic(_compare_all, rounds=1, iterations=1)
+    record_bench(
+        "flipchip", _metrics(comparisons), seed=0,
+        context={"pad_count": pad_count, "sizes": list(sizes)},
+    )
 
     lines = [f"supply budget: {pad_count} pads", ""]
     lines.append("die size   wire-bond (mV)   flip-chip (mV)   advantage")

@@ -40,6 +40,11 @@ PARAMS = SAParams(initial_temp=0.03, final_temp=1e-3, cooling=0.85, moves_per_te
 REPEATS = 5
 SEED = 0
 
+#: Perf-ledger registration (``repro bench run``): timings gate relatively,
+#: the overhead ratio gates absolutely via the committed baseline.
+LEDGER_GATED = {"overhead": "lower", "instrumented_us_per_move": "lower"}
+LEDGER_SEED = SEED
+
 
 def _bare_anneal(kernel, params: SAParams, seed: int) -> SAStats:
     """``SimulatedAnnealer.optimize`` with every telemetry line deleted.
@@ -166,6 +171,12 @@ def _write_record(row: dict) -> None:
         seed=SEED,
         context={"fingers": FINGER_COUNT, "repeats": REPEATS},
     )
+
+
+def ledger_metrics() -> dict:
+    row = measure()
+    _write_record(row)
+    return {k: round(v, 6) for k, v in row.items()}
 
 
 def test_obs_overhead(record_result):

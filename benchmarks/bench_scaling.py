@@ -21,6 +21,25 @@ from repro.routing import max_density_of_design
 
 COUNTS = (96, 224, 448, 896, 1792)
 
+#: Perf-ledger registration: densities are deterministic (absolute bounds
+#: in the baseline); the largest-sweep timings gate relatively.
+LEDGER_GATED = {"dfa_ms_1792": "lower", "ifa_ms_1792": "lower",
+                "dfa_density_1792": "lower"}
+LEDGER_SEED = 0
+
+
+def ledger_metrics() -> dict:
+    rows = sweep(COUNTS)
+    write_record(rows)
+    metrics = {}
+    for row in rows:
+        count = row["count"]
+        for name in ("Random", "IFA", "DFA"):
+            density, elapsed_ms = row[name]
+            metrics[f"{name.lower()}_density_{count}"] = float(density)
+            metrics[f"{name.lower()}_ms_{count}"] = round(elapsed_ms, 3)
+    return metrics
+
 
 def sweep(counts):
     rows = []

@@ -40,6 +40,12 @@ from repro.serve import ServeClient, ServeConfig, ServeHandle
 #: accidentally re-executing).
 MIN_HOT_RPS = 5.0
 
+#: Perf-ledger registration: invariants (executed counts) gate absolutely,
+#: hot-path throughput gates relatively with a wide margin.
+LEDGER_GATED = {"hot_rps": "higher", "hot_executed": "lower",
+                "dup_executed": "lower"}
+LEDGER_SEED = 0
+
 #: Tiny-but-real co-design job: small enough that serving overhead is
 #: visible, real enough that the cold mix measures the whole stack.
 BASE_PARAMS = {
@@ -189,6 +195,12 @@ def _problems(row: Dict[str, float]) -> List[str]:
             "expected exactly 1 (dedup broken)"
         )
     return problems
+
+
+def ledger_metrics() -> Dict[str, float]:
+    row = measure(jobs=8, concurrency=4)
+    _write_record(row)
+    return {key: round(value, 6) for key, value in row.items()}
 
 
 def test_serve_bench(record_result):

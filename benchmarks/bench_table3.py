@@ -23,7 +23,7 @@ def run_all():
     return table3_results(engine.run(table3_specs(seed=7, grid=32)))
 
 
-def test_table3(benchmark, record_result):
+def test_table3(benchmark, record_result, record_bench):
     results_2d, results_stacked = benchmark.pedantic(
         run_all, rounds=1, iterations=1
     )
@@ -38,6 +38,17 @@ def test_table3(benchmark, record_result):
         f"bonding {avg_bond * 100:.2f}%"
     )
     record_result("table3", text + "\n\n" + footer)
+    record_bench(
+        "table3",
+        {
+            "avg_ir_improvement_2d_pct": round(avg_2d * 100, 4),
+            "avg_ir_improvement_4t_pct": round(avg_4t * 100, 4),
+            "avg_bonding_improvement_pct": round(avg_bond * 100, 4),
+        },
+        seed=7,
+        context={"grid": 32, "circuits": 5,
+                 "paper": {"ir_2d": 10.61, "ir_4t": 4.58, "bonding": 15.66}},
+    )
 
     # shape assertions: the exchange helps on average, density growth bounded
     assert avg_2d > 0

@@ -29,3 +29,23 @@ def record_result(results_dir):
         print(f"\n=== {name} ===\n{text}")
 
     return writer
+
+
+@pytest.fixture
+def record_bench(results_dir):
+    """Write one experiment's metrics as a ``BENCH_<name>.json`` record.
+
+    The machine-readable twin of ``record_result``: every bench that
+    renders a table should also persist its headline numbers here so
+    ``repro stats --compare`` and the perf ledger cover the whole suite.
+    """
+
+    def writer(name: str, metrics: dict, seed=None, context=None) -> dict:
+        from repro.obs.bench import write_bench_record
+
+        return write_bench_record(
+            results_dir / f"BENCH_{name}.json", name, metrics,
+            seed=seed, context=context,
+        )
+
+    return writer

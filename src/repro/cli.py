@@ -13,6 +13,8 @@ Commands
 ``drc <design.json>``      design-rule check a JSON design
 ``stats <trace>``       analyse a trace: span tree, phases, SA curve, cache
 ``check-trace <trace>`` validate a trace against the event schema + span tree
+``bench run``           execute registered benches into the perf ledger
+``bench compare``       gate the latest ledger records against a baseline
 
 ``table2``/``table3``/``fig6`` accept ``--jobs N`` to fan their independent
 jobs out over worker processes; ``run`` adds the result cache and a JSONL
@@ -197,27 +199,63 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    """Analyse a trace (or diff two bench records with ``--compare``)."""
+    """Analyse a trace (or compare bench records with ``--compare``).
+
+    ``--compare`` accepts either two ``BENCH_*.json`` records (pairwise
+    diff, as before) or one/many history sources — a
+    ``BENCH_history.jsonl`` ledger or 3+ records — rendered as an N-way
+    per-metric trajectory table with sparklines.
+    """
     import json
 
     if args.compare:
-        from .obs.bench import (
-            compare_bench_records,
-            load_bench_record,
-            render_compare,
-        )
+        from .obs import ledger as _ledger
 
-        try:
-            old = load_bench_record(args.compare[0])
-            new = load_bench_record(args.compare[1])
-        except (OSError, ValueError, json.JSONDecodeError) as exc:
-            print(f"cannot load bench record: {exc}", file=sys.stderr)
-            return 2
-        diff = compare_bench_records(old, new)
+        paths = args.compare
+        if len(paths) == 2 and not any(
+            str(p).endswith(".jsonl") for p in paths
+        ):
+            from .obs.bench import (
+                compare_bench_records,
+                load_bench_record,
+                render_compare,
+            )
+
+            try:
+                old = load_bench_record(paths[0])
+                new = load_bench_record(paths[1])
+            except (OSError, ValueError, json.JSONDecodeError) as exc:
+                print(f"cannot load bench record: {exc}", file=sys.stderr)
+                return 2
+            diff = compare_bench_records(old, new)
+            if args.format == "json":
+                print(json.dumps(diff, indent=2, sort_keys=True))
+            else:
+                print(render_compare(diff))
+            return 0
+
+        # N-way: flatten every source (history files contribute all their
+        # records, .json files one each) into one chronological stream.
+        records = []
+        for path in paths:
+            if str(path).endswith(".jsonl"):
+                loaded = _ledger.load_history(path)
+                if not loaded:
+                    print(f"no ledger records in {path}", file=sys.stderr)
+                    return 2
+                records.extend(loaded)
+            else:
+                from .obs.bench import load_bench_record
+
+                try:
+                    records.append(load_bench_record(path))
+                except (OSError, ValueError, json.JSONDecodeError) as exc:
+                    print(f"cannot load bench record: {exc}", file=sys.stderr)
+                    return 2
         if args.format == "json":
-            print(json.dumps(diff, indent=2, sort_keys=True))
+            print(json.dumps(records, indent=2, sort_keys=True))
         else:
-            print(render_compare(diff))
+            print(_ledger.history_table(records))
         return 0
 
     if not args.trace:
@@ -237,11 +275,57 @@ def _cmd_stats(args) -> int:
         write_chrome(events, args.chrome)
         print(f"Chrome trace written to {args.chrome} "
               "(load in Perfetto or chrome://tracing)", file=sys.stderr)
+    if args.curves:
+        from .obs.curves import write_curves
+
+        written = write_curves(events, args.curves_dir)
+        if written:
+            for path in written:
+                print(f"wrote {path}", file=sys.stderr)
+        else:
+            print("no sa.curve events in trace", file=sys.stderr)
     summary = stats_summary(events)
     if args.format == "json":
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(render_stats(summary, top=args.top))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """The perf-regression ledger: run registered benches / gate on them."""
+    from .obs import ledger as _ledger
+
+    if args.action == "run":
+        only = args.only.split(",") if args.only else None
+        records = _ledger.run_ledger(
+            args.bench_dir, args.history, only=only
+        )
+        if not records:
+            print(
+                f"no registered benches under {args.bench_dir} "
+                "(a module registers by defining ledger_metrics())",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"{len(records)} record(s) appended to "
+            f"{args.history or _ledger.DEFAULT_HISTORY}"
+        )
+        return 0
+    result = _ledger.compare_ledger(
+        args.history,
+        baseline_path=args.baseline,
+        against=args.against,
+        gate_pct=args.gate,
+    )
+    for row in result["rows"]:
+        print(row)
+    if result["failures"]:
+        for failure in result["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"ledger gate passed (gate {args.gate:g}%)")
     return 0
 
 
@@ -620,12 +704,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pst.add_argument(
         "--compare",
-        nargs=2,
+        nargs="+",
         default=None,
-        metavar=("OLD", "NEW"),
-        help="diff two BENCH_*.json perf records instead of reading a trace",
+        metavar="RECORD",
+        help="compare perf records instead of reading a trace: two "
+             "BENCH_*.json files diff pairwise; a BENCH_history.jsonl "
+             "(or 3+ records) renders an N-way trajectory table",
+    )
+    pst.add_argument(
+        "--curves",
+        action="store_true",
+        help="render each sa.curve event in the trace to "
+             "sa_curve_<circuit>.svg + .json under --curves-dir",
+    )
+    pst.add_argument(
+        "--curves-dir",
+        default="results",
+        help="output directory for --curves (default: results)",
     )
     pst.set_defaults(func=_cmd_stats)
+
+    pb = sub.add_parser(
+        "bench",
+        help="perf-regression ledger: run registered benches, gate on history",
+    )
+    pb.add_argument(
+        "action",
+        choices=("run", "compare"),
+        help="run: execute ledger_metrics() benches and append to the "
+             "history; compare: gate the latest records",
+    )
+    pb.add_argument(
+        "--bench-dir", default="benchmarks",
+        help="directory scanned for bench_*.py modules (default: benchmarks)",
+    )
+    pb.add_argument(
+        "--history", default=None,
+        help="ledger history path (default: results/BENCH_history.jsonl)",
+    )
+    pb.add_argument(
+        "--only", default=None,
+        help="comma-separated bench names to run (default: all registered)",
+    )
+    pb.add_argument(
+        "--baseline", default=None,
+        help="baseline spec file for compare "
+             "(default: results/BENCH_baseline.json)",
+    )
+    pb.add_argument(
+        "--against", default=None, metavar="REV",
+        help="compare against the latest history records of this git rev "
+             "(prefix match) instead of the baseline file",
+    )
+    pb.add_argument(
+        "--gate", type=float, default=20.0,
+        help="regression gate percentage for relative specs (default: 20)",
+    )
+    pb.set_defaults(func=_cmd_bench)
 
     pct = sub.add_parser(
         "check-trace", help="validate a trace: event schema + rooted span tree"

@@ -113,6 +113,7 @@ class SimulatedAnnealer:
         seed: Optional[int] = None,
         snapshot: Optional[Callable] = None,
         checkpoint=None,
+        curve_label: Optional[str] = None,
     ) -> SAStats:
         """Run the schedule; optionally checkpointed for crash-safe resume.
 
@@ -140,6 +141,14 @@ class SimulatedAnnealer:
         delta_histogram = (
             telemetry.metrics.histogram("sa.delta", SA_DELTA_BUCKETS) if track else None
         )
+        curve = None
+        if track:
+            from ..obs.curves import CurveRecorder
+
+            # One sample per temperature step, stride-doubled to a bounded
+            # point budget; shipped as a single sa.curve event at the end
+            # (see repro.obs.curves).  Lives entirely outside the move loop.
+            curve = CurveRecorder()
         rng = random.Random(seed)
         params = self.params
         stats = SAStats()
@@ -297,11 +306,18 @@ class SimulatedAnnealer:
             start_move = 0
             stats.cost_trace.append(current_cost)
             if track:
+                acceptance = (
+                    step_accepted / step_proposed if step_proposed else 0.0
+                )
                 telemetry.emit(
                     "sa.step",
                     temperature=round(temperature, 8),
                     cost=current_cost,
-                    acceptance=step_accepted / step_proposed if step_proposed else 0.0,
+                    acceptance=acceptance,
+                )
+                curve.observe(
+                    stats.proposed, current_cost, stats.best_cost,
+                    acceptance, temperature,
                 )
             temperature *= params.cooling
 
@@ -328,4 +344,6 @@ class SimulatedAnnealer:
                 moves_per_s=round(stats.proposed / elapsed, 1) if elapsed else 0.0,
                 nonfinite_rejected=stats.nonfinite_rejected,
             )
+            if curve is not None and curve.observed:
+                curve.emit(telemetry, circuit=curve_label)
         return stats

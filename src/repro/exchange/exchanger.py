@@ -163,6 +163,7 @@ class FingerPadExchanger:
                 seed=seed,
                 snapshot=kernel.snapshot,
                 checkpoint=checkpoint,
+                curve_label=self.design.name,
             )
         anneal_seconds = time.perf_counter() - anneal_started
         if stats.best_snapshot is not None:
@@ -292,6 +293,7 @@ class FingerPadExchanger:
                 cost=lambda: cost.total(working),
                 seed=seed,
                 snapshot=snapshot,
+                curve_label=self.design.name,
             )
 
         # Restore the best state seen during the anneal.

@@ -19,7 +19,13 @@ a run:
 - :mod:`~repro.obs.profile` — per-job cProfile / sampling profilers
   behind ``--profile``;
 - :mod:`~repro.obs.bench` — machine-readable ``BENCH_*.json`` perf
-  records and their comparison.
+  records and their comparison;
+- :mod:`~repro.obs.live` — process-wide live metric aggregation and the
+  Prometheus text exposition scrape surface behind ``GET /metrics``;
+- :mod:`~repro.obs.curves` — bounded SA convergence-curve capture
+  (``sa.curve`` events) and their SVG/JSON rendering;
+- :mod:`~repro.obs.ledger` — the append-only perf-regression ledger
+  behind ``repro bench run`` / ``repro bench compare``.
 
 Only :mod:`~repro.obs.spans` and :mod:`~repro.obs.metrics` — the pieces
 hot code paths touch — are imported eagerly; the analysis-side modules
@@ -45,7 +51,10 @@ from .metrics import (
 from .spans import SpanHandle, attached_to, current_span_id, new_span_id, open_span, span
 
 #: Analysis-side submodules resolved lazily (PEP 562).
-_LAZY_MODULES = ("schema", "trace", "stats", "profile", "bench")
+_LAZY_MODULES = (
+    "schema", "trace", "stats", "profile", "bench", "live", "curves",
+    "ledger",
+)
 
 #: Lazily re-exported names -> owning submodule.
 _LAZY_NAMES = {
@@ -66,6 +75,12 @@ _LAZY_NAMES = {
     "write_bench_record": "bench",
     "load_bench_record": "bench",
     "compare_bench_records": "bench",
+    "LiveRegistry": "live",
+    "validate_exposition": "live",
+    "CurveRecorder": "curves",
+    "render_curve_svg": "curves",
+    "run_ledger": "ledger",
+    "compare_ledger": "ledger",
 }
 
 __all__ = [

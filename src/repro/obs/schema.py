@@ -75,6 +75,7 @@ REQUIRED: Dict[str, Dict[str, tuple]] = {
     "sa.end": {"final_cost": _NUM, "best_cost": _NUM, "proposed": _NUM,
                "accepted": _NUM, "accepted_uphill": _NUM, "acceptance_ratio": _NUM},
     "sa.nonfinite": {"cost": _STR, "temperature": _NUM},
+    "sa.curve": {"points": _LIST, "stride": _NUM, "total_steps": _NUM},
     "kernel.stats": {"backend": _STR, "proposed": _NUM, "us_per_move": _NUM,
                      "resyncs": _NUM},
     "metrics": {"version": _NUM, "metrics": _DICT},
@@ -106,6 +107,7 @@ OPTIONAL: Dict[str, Dict[str, tuple]] = {
     "job.error": {"error_class": _STR, "traceback": _STR},
     "job.failed": {"error_class": _OPT_STR},
     "sa.end": {"seconds": _NUM, "moves_per_s": _NUM, "nonfinite_rejected": _NUM},
+    "sa.curve": {"circuit": _STR, "budget": _NUM},
     "kernel.stats": {"swaps": _NUM, "seconds": _NUM},
     "profile": {"seconds": _NUM},
 }

@@ -706,6 +706,12 @@ class JobEngine:
                     finally:
                         if handle is not None:
                             handle.close(status="degraded" if degraded else status)
+                # Push this round's cumulative snapshot to the sink now
+                # rather than only at run() end, so a live /metrics scrape
+                # mid-batch reflects completed work.  Safe to repeat: the
+                # live registry delta-folds per source and the post-hoc
+                # analyser keeps the last snapshot per tag.
+                metrics.flush()
                 if degraded:
                     break
                 if not failed:

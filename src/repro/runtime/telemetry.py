@@ -171,18 +171,34 @@ class JsonlSink:
 
     Writes are buffered: lines accumulate in memory and hit the disk every
     ``flush_every`` events, on :meth:`flush`, and on :meth:`close` — one
-    ``write`` syscall per batch instead of one per event.  The underlying
+    ``write`` syscall per batch instead of one per event.  ``flush_every``
+    defaults to the ``REPRO_TRACE_FLUSH_EVERY`` environment variable (64
+    when unset), and a wall-clock deadline (``flush_seconds``, default 1 s)
+    bounds how stale the file can be regardless of batch fill: a slow event
+    stream — one ``sa.step`` per temperature tier during a long anneal —
+    still reaches a ``tail -f`` within a second of the *next* event instead
+    of lagging up to 63 events behind.  The deadline is checked on event
+    arrival (no timer thread); a sink that stops receiving events entirely
+    flushes on :meth:`flush`/:meth:`close` as before.  The underlying
     file opens lazily on the first flush; ``close()`` is idempotent and a
     finalizer flushes any tail events should an exception path skip it.
     """
 
-    def __init__(self, path, flush_every: int = 64) -> None:
+    def __init__(self, path, flush_every: Optional[int] = None,
+                 flush_seconds: float = 1.0) -> None:
         self.path = path
+        if flush_every is None:
+            try:
+                flush_every = int(os.environ.get("REPRO_TRACE_FLUSH_EVERY", 64))
+            except ValueError:
+                flush_every = 64
         self.flush_every = max(1, int(flush_every))
+        self.flush_seconds = float(flush_seconds)
         self._lock = threading.Lock()
         self._buffer: List[str] = []
         self._handle = None
         self._closed = False
+        self._last_flush = time.monotonic()
         parent = os.path.dirname(os.fspath(path))
         if parent:
             os.makedirs(parent, exist_ok=True)
@@ -193,10 +209,14 @@ class JsonlSink:
             if self._closed:
                 raise ValueError(f"JsonlSink({self.path}) is closed")
             self._buffer.append(line)
-            if len(self._buffer) >= self.flush_every:
+            if len(self._buffer) >= self.flush_every or (
+                self.flush_seconds > 0
+                and time.monotonic() - self._last_flush >= self.flush_seconds
+            ):
                 self._flush_locked()
 
     def _flush_locked(self) -> None:
+        self._last_flush = time.monotonic()
         if not self._buffer:
             return
         if self._handle is None:

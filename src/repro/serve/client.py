@@ -199,6 +199,31 @@ class ServeClient:
             raise ServeClientError(status, body)
         return body
 
+    def stats(self) -> dict:
+        """The live metric aggregate as JSON (``GET /v1/stats``)."""
+        status, body = self._request("GET", "/v1/stats")
+        if status != 200:
+            raise ServeClientError(status, body)
+        return body
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text (``GET /metrics``)."""
+        connection = self._connect()
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                try:
+                    body = json.loads(raw)
+                except ValueError:
+                    body = {"error": {"code": "bad-response",
+                                      "message": raw.decode("utf-8", "replace")}}
+                raise ServeClientError(response.status, body)
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
     def events(self, digest: str,
                timeout: Optional[float] = None,
                last_event_id: Optional[int] = None,

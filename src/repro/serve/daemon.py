@@ -21,9 +21,17 @@ A stdlib-only asyncio HTTP/1.1 server in front of the
   in-flight jobs up to ``drain_deadline`` seconds, flush the trace sink,
   release the worker pool and exit ``128+signum``.
 
+- **Live telemetry plane** — every telemetry event also feeds a
+  process-wide :class:`~repro.obs.live.LiveRegistry`; ``GET /metrics``
+  scrapes it in Prometheus text exposition format and ``GET /v1/stats``
+  returns the same aggregate as JSON, including per-endpoint request
+  latency histograms, queue/in-flight gauges and dedup/429 counters.
+
 Endpoints (see ``docs/serving.md`` for the full wire reference)::
 
     GET  /healthz                   liveness + counters + cache stats
+    GET  /metrics                   Prometheus text exposition (v0.0.4)
+    GET  /v1/stats                  live metric aggregate as JSON
     GET  /v1/schema                 wire/event schema versions, job kinds
     POST /v1/jobs                   submit (wire request; 200/202/400/429)
     GET  /v1/jobs/<digest>          status/result envelope
@@ -42,6 +50,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from ..obs.live import LIVE_SCHEMA, REQUEST_SECONDS_BUCKETS, LiveRegistry
 from ..obs.schema import SCHEMA_VERSION
 from ..runtime import JobEngine, JobJournal, JsonlSink, ResultCache, Telemetry
 from ..runtime.journal import spec_from_record
@@ -111,6 +120,7 @@ class ServeApp:
             "executed": 0,
         }
         self.started_at = time.monotonic()
+        self.live = LiveRegistry()
         self.draining = False
         self._signal: Optional[int] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -141,6 +151,7 @@ class ServeApp:
         def fan_out(event: dict) -> None:
             if self._sink is not None:
                 self._sink(event)
+            self.live.ingest(event)
             self.bus.publish(event)
 
         self.telemetry = Telemetry(sink=fan_out)
@@ -402,10 +413,17 @@ class ServeApp:
                     )
                 except ConnectionError:  # pragma: no cover - client vanished
                     break
+                elapsed = time.perf_counter() - started
                 self.counters["requests"] += 1
+                self.live.histogram(
+                    "repro_serve_request_seconds", REQUEST_SECONDS_BUCKETS,
+                    help="HTTP request latency by endpoint",
+                    method=method, endpoint=_endpoint(path),
+                    status=str(status),
+                ).record(elapsed)
                 self.telemetry.emit(
                     "serve.request", method=method, path=path, status=status,
-                    seconds=round(time.perf_counter() - started, 6),
+                    seconds=round(elapsed, 6),
                 )
                 if not finished or not keep_alive:
                     break
@@ -437,6 +455,15 @@ class ServeApp:
         """Dispatch one request; returns (status, connection-reusable)."""
         if path == "/healthz" and method == "GET":
             return await _send_json(writer, 200, self.health()), True
+        if path == "/metrics" and method == "GET":
+            self._sync_live()
+            return await _send_text(
+                writer, 200, self.live.render_prometheus(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            ), True
+        if path == "/v1/stats" and method == "GET":
+            self._sync_live()
+            return await _send_json(writer, 200, self.stats()), True
         if path == "/v1/schema" and method == "GET":
             return await _send_json(writer, 200, self.schema()), True
         if path == "/v1/jobs" and method == "POST":
@@ -608,6 +635,68 @@ class ServeApp:
 
     # -- introspection -----------------------------------------------------
 
+    def _sync_live(self) -> None:
+        """Refresh the scrape-time series in the live registry.
+
+        Admission/settle counters and derived gauges are maintained as
+        plain ints on the hot path and mirrored here once per scrape —
+        the request path pays nothing for them.  The counter children are
+        overwritten (not incremented): both sides are monotonic totals of
+        the same process, so assignment preserves counter semantics.
+        """
+        live = self.live
+        for key, value in self.counters.items():
+            child = live.counter(
+                f"repro_serve_{key}_total",
+                help=f"serve lifecycle counter: {key}",
+            )
+            child.value = float(value)
+        pending = self.registry.pending
+        running = self.registry.running
+        workers = max(1, self.config.workers)
+        live.gauge(
+            "repro_serve_queue_depth", help="admitted jobs not yet settled"
+        ).set(pending)
+        live.gauge(
+            "repro_serve_queue_limit", help="admission backpressure limit"
+        ).set(self.config.queue_limit)
+        live.gauge(
+            "repro_serve_inflight_jobs", help="jobs currently executing"
+        ).set(running)
+        live.gauge(
+            "repro_serve_worker_utilization",
+            help="running jobs / worker pool size, capped at 1",
+        ).set(min(1.0, running / workers))
+        live.gauge(
+            "repro_serve_sse_subscribers", help="connected SSE clients"
+        ).set(self.registry.sse_subscribers)
+        live.gauge(
+            "repro_serve_uptime_seconds", help="seconds since daemon start"
+        ).set(time.monotonic() - self.started_at)
+        if self.cache is not None:
+            stats = self.cache.stats
+            for op, value in stats.items():
+                child = live.counter(
+                    "repro_serve_cache_total",
+                    help="result cache operations by outcome", op=op,
+                )
+                child.value = float(value)
+            lookups = stats.get("hits", 0) + stats.get("misses", 0)
+            live.gauge(
+                "repro_serve_cache_hit_ratio",
+                help="cache hits / lookups since start",
+            ).set(stats.get("hits", 0) / lookups if lookups else 0.0)
+
+    def stats(self) -> dict:
+        """The ``/v1/stats`` JSON snapshot: health plus the live metrics."""
+        return {
+            "schema": WIRE_SCHEMA_VERSION,
+            "live_schema": LIVE_SCHEMA,
+            "health": self.health(),
+            "ingested_events": self.live.ingested_events,
+            "metrics": self.live.snapshot(),
+        }
+
     def health(self) -> dict:
         snapshot = self.telemetry.snapshot() if self.telemetry else {}
         return {
@@ -683,6 +772,23 @@ _STATUS_TEXT = {
     500: "Internal Server Error", 503: "Service Unavailable",
 }
 
+_KNOWN_ENDPOINTS = frozenset(
+    ("/healthz", "/metrics", "/v1/stats", "/v1/schema", "/v1/jobs")
+)
+
+
+def _endpoint(path: str) -> str:
+    """Collapse a request path to a bounded-cardinality endpoint label."""
+    if path.startswith("/v1/jobs/"):
+        return (
+            "/v1/jobs/:digest/events"
+            if path.endswith("/events")
+            else "/v1/jobs/:digest"
+        )
+    if path in _KNOWN_ENDPOINTS:
+        return path
+    return "other"
+
 
 async def _send_json(writer, status: int, body: dict, headers=None) -> int:
     payload = json.dumps(body, sort_keys=True, default=str).encode("utf-8")
@@ -695,6 +801,24 @@ async def _send_json(writer, status: int, body: dict, headers=None) -> int:
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"{extra}"
+        ).encode("latin-1")
+        + b"\r\n"
+        + payload
+    )
+    await writer.drain()
+    return status
+
+
+async def _send_text(
+    writer, status: int, body: str,
+    content_type: str = "text/plain; charset=utf-8",
+) -> int:
+    payload = body.encode("utf-8")
+    writer.write(
+        (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
         ).encode("latin-1")
         + b"\r\n"
         + payload

@@ -132,6 +132,20 @@ class JobRegistry:
             1 for record in self.records.values() if not record.settled
         )
 
+    @property
+    def running(self) -> int:
+        """Jobs currently executing in a dispatched batch."""
+        return sum(
+            1 for record in self.records.values() if record.status == RUNNING
+        )
+
+    @property
+    def sse_subscribers(self) -> int:
+        """Live SSE client queues across every record."""
+        return sum(
+            len(record.subscribers) for record in self.records.values()
+        )
+
 
 class EventBus:
     """Routes telemetry events to per-job buffers and SSE subscribers.
