@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test check bench bench-smoke bench-kernel bench-pipeline bench-obs bench-serve bench-journal bench-ledger serve-smoke scrape-smoke crash-smoke fuzz-smoke report examples clean
+.PHONY: install test check bench bench-smoke bench-kernel bench-pipeline bench-obs bench-serve bench-journal bench-ledger bench-tempering serve-smoke scrape-smoke crash-smoke fuzz-smoke tune-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -88,6 +88,19 @@ bench-serve:
 bench-journal:
 	@mkdir -p results
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python benchmarks/bench_journal.py
+
+# Tuning-stack smoke (<30 s): a tiny sweep run twice against a throwaway
+# cache (must replay >= 90% from cache with byte-identical reports) plus a
+# K=2 tempering run whose sa.swap trace must validate (see docs/tuning.md).
+tune-smoke:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m repro.tune.smoke
+
+# Parallel-tempering quality gate (<60 s): K=4 replica exchange must reach
+# an equal-or-better Eq.-3 cost than the single chain on the benchmark
+# circuits at the pinned seed.  Writes results/BENCH_tempering.json.
+bench-tempering:
+	@mkdir -p results
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python benchmarks/bench_tempering.py --smoke
 
 # Differential-fuzz gate (~60 s, fixed seed so CI failures replay locally):
 # a 200-case campaign over every oracle, then a replay of the checked-in

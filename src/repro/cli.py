@@ -97,6 +97,9 @@ def _run_workload(
     verify: str = "off",
     backend: str = "auto",
     profile=None,
+    tempering: int = 0,
+    swap_stride: int = 2,
+    ladder: float = 1.25,
 ) -> int:
     """Execute one named workload on the job engine and print its table."""
     from .obs.schema import SCHEMA_VERSION
@@ -150,7 +153,16 @@ def _run_workload(
         )
         try:
             with _drain_on_signal(), span("run", telemetry, workload=name):
-                outcomes = engine.run(specs)
+                if tempering:
+                    outcomes = _run_tempering_specs(
+                        engine,
+                        specs,
+                        chains=tempering,
+                        swap_stride=swap_stride,
+                        ladder=ladder,
+                    )
+                else:
+                    outcomes = engine.run(specs)
         except _DrainSignal as exc:
             # Graceful drain: release the worker pool, let the ExitStack
             # flush/close the trace sink, and exit with the conventional
@@ -181,6 +193,71 @@ def _run_workload(
         return 0
 
 
+def _run_tempering_specs(
+    engine, specs, chains: int, swap_stride: int, ladder: float
+):
+    """Run each codesign spec as a parallel-tempering run; others normally.
+
+    The coordinator fans its per-chain segment jobs out through *engine*
+    (so ``--jobs`` and the cache apply); each codesign spec's result is
+    wrapped back into a :class:`JobOutcome` so the workload renderers see
+    the familiar shape.
+    """
+    import time
+
+    from .exchange import SAParams
+    from .runtime.engine import JobOutcome
+    from .runtime.jobs import _build_circuit_design, _sa_params
+    from .tune import TemperingConfig, run_tempering
+
+    config = TemperingConfig(
+        chains=chains, swap_stride=swap_stride, ladder_ratio=ladder
+    )
+    outcomes = []
+    for spec in specs:
+        if spec.kind != "codesign":
+            outcomes.extend(engine.run([spec]))
+            continue
+        schedule = _sa_params(spec.params)
+        if isinstance(schedule, str):
+            from .presets import resolve_sa_params
+
+            schedule = resolve_sa_params(
+                schedule, _build_circuit_design(spec.params)
+            )
+        started = time.perf_counter()
+        try:
+            value = run_tempering(
+                engine,
+                circuit=int(spec.params["circuit"]),
+                config=config,
+                schedule=schedule or SAParams(),
+                seed=spec.seed if spec.seed is not None else 0,
+                tiers=int(spec.params.get("tiers", 1)),
+                grid=int(spec.params.get("grid", 32)),
+            )
+        except Exception as exc:
+            outcomes.append(
+                JobOutcome(
+                    spec=spec,
+                    error=str(exc),
+                    error_class=type(exc).__name__,
+                    attempts=1,
+                    seconds=round(time.perf_counter() - started, 6),
+                )
+            )
+            continue
+        outcomes.append(
+            JobOutcome(
+                spec=spec,
+                value=value,
+                attempts=1,
+                seconds=round(time.perf_counter() - started, 6),
+            )
+        )
+    return outcomes
+
+
 def _cmd_run(args) -> int:
     return _run_workload(
         args.workload,
@@ -195,7 +272,136 @@ def _cmd_run(args) -> int:
         verify=args.verify,
         backend=args.backend,
         profile=args.profile,
+        tempering=args.tempering,
+        swap_stride=args.swap_stride,
+        ladder=args.ladder,
     )
+
+
+def _render_tune_front(report) -> str:
+    """Text table of a sweep report's Pareto front, knee starred."""
+    knee = report.get("knee")
+    lines = [
+        f'tune sweep: {report.get("circuit", "?")} '
+        f'({len(report.get("cells", []))} schedules, '
+        f'front {len(report.get("front", []))})',
+        "    T0       alpha  moves    cost        seconds",
+    ]
+    for cell in report.get("front", []):
+        schedule = cell["schedule"]
+        star = " *" if knee is not None and cell == knee else ""
+        lines.append(
+            f'    {schedule["initial_temp"]:<8g} '
+            f'{schedule["cooling"]:<6g} '
+            f'{schedule["moves_per_temp"]:<8d} '
+            f'{cell["cost"]:<11.6g} '
+            f'{cell["seconds"]:<10.6g}{star}'
+        )
+    if knee is not None:
+        schedule = knee["schedule"]
+        lines.append(
+            f'  knee (recommended): T0={schedule["initial_temp"]:g} '
+            f'alpha={schedule["cooling"]:g} '
+            f'moves={schedule["moves_per_temp"]}'
+        )
+    return "\n".join(lines)
+
+
+def _cmd_tune(args) -> int:
+    """Schedule auto-tuning: grid sweep or re-render a saved report."""
+    import json
+
+    if args.action == "pareto":
+        from .tune import knee_point, pareto_front, render_pareto_svg
+
+        if not args.report:
+            print("tune pareto needs --report <tune_pareto_*.json>", file=sys.stderr)
+            return 2
+        try:
+            with open(args.report, encoding="utf-8") as handle:
+                report = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot load tune report: {exc}", file=sys.stderr)
+            return 2
+        # Re-derive front + knee from the cells so a hand-edited or
+        # merged report stays self-consistent.
+        report["front"] = pareto_front(report.get("cells", []))
+        report["knee"] = knee_point(report["front"])
+        if args.svg:
+            with open(args.svg, "w", encoding="utf-8") as handle:
+                handle.write(render_pareto_svg(report))
+            print(f"wrote {args.svg}", file=sys.stderr)
+        print(_render_tune_front(report))
+        return 0
+
+    from .obs.schema import SCHEMA_VERSION
+    from .obs.spans import span
+    from .runtime import JobEngine, JsonlSink, ResultCache, Telemetry
+    from .tune import SweepGrid, run_sweep, write_report
+
+    grid_kwargs = {
+        "final_temp": args.final_temp,
+        "replicates": args.replicates,
+    }
+    if args.t0 is not None:
+        grid_kwargs["initial_temps"] = args.t0
+    if args.alpha is not None:
+        grid_kwargs["coolings"] = args.alpha
+    if args.moves is not None:
+        grid_kwargs["moves"] = args.moves
+    grid = SweepGrid(**grid_kwargs)
+    with contextlib.ExitStack() as stack:
+        sink = stack.enter_context(JsonlSink(args.trace)) if args.trace else None
+        telemetry = Telemetry(sink=sink)
+        telemetry.emit(
+            "trace.meta",
+            schema=SCHEMA_VERSION,
+            tool="repro",
+            command="tune",
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+        cache = ResultCache(args.cache_dir) if args.cache else None
+        engine = JobEngine(
+            jobs=args.jobs, cache=cache, telemetry=telemetry
+        )
+        print(
+            f"sweeping {grid.cell_count()} cells on circuit{args.circuit} "
+            f"(jobs={args.jobs}, seed={args.seed}, "
+            f"cache={'on' if cache else 'off'})...",
+            file=sys.stderr,
+        )
+        try:
+            with _drain_on_signal(), span("tune", telemetry):
+                report, outcomes = run_sweep(
+                    engine,
+                    args.circuit,
+                    grid=grid,
+                    seed=args.seed,
+                    tiers=args.tiers,
+                    backend=args.backend,
+                )
+        except _DrainSignal as exc:
+            engine.close()
+            print(
+                f"interrupted by signal {exc.signum}; exiting {128 + exc.signum}",
+                file=sys.stderr,
+            )
+            return 128 + exc.signum
+        except RuntimeError as exc:
+            print(f"tune sweep failed: {exc}", file=sys.stderr)
+            return 1
+        written = write_report(report, args.out)
+        print(_render_tune_front(report))
+        hits = sum(1 for outcome in outcomes if outcome.cached)
+        summary = (
+            f"{len(outcomes)} cells, {hits} cache hit(s); wrote "
+            + ", ".join(written)
+        )
+        if args.trace:
+            summary += f"; trace written to {args.trace}"
+        print(summary, file=sys.stderr)
+        return 0
 
 
 def _cmd_stats(args) -> int:
@@ -614,6 +820,20 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _csv_floats(text: str) -> tuple:
+    try:
+        return tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a float list: {text!r}") from None
+
+
+def _csv_ints(text: str) -> tuple:
+    try:
+        return tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an int list: {text!r}") from None
+
+
 def _add_verify_flag(parser, default: str = "off") -> None:
     from .verify import CLI_POLICIES
 
@@ -683,8 +903,104 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="profile each job; results land in the trace as 'profile' events",
     )
+    prun.add_argument(
+        "--tempering",
+        type=_positive_int,
+        default=0,
+        metavar="K",
+        help="run codesign jobs as K-chain replica-exchange parallel "
+             "tempering through the engine (docs/tuning.md)",
+    )
+    prun.add_argument(
+        "--swap-stride",
+        type=int,
+        default=2,
+        help="temperature tiers between swap rounds (0 = multi-start SA, "
+             "no exchanges); only with --tempering",
+    )
+    prun.add_argument(
+        "--ladder",
+        type=float,
+        default=1.25,
+        help="temperature ratio between adjacent chains; only with --tempering",
+    )
     _add_verify_flag(prun)
     prun.set_defaults(func=_cmd_run)
+
+    ptu = sub.add_parser(
+        "tune",
+        help="SA schedule auto-tuning: cached grid sweeps + Pareto fronts",
+    )
+    ptu.add_argument(
+        "action",
+        choices=("sweep", "pareto"),
+        help="sweep: run the schedule grid through the engine; "
+             "pareto: re-render a saved tune_pareto_*.json report",
+    )
+    ptu.add_argument(
+        "--circuit", type=_positive_int, default=1,
+        help="Table-1 circuit index to tune on (default: 1)",
+    )
+    ptu.add_argument(
+        "--tiers", type=_positive_int, default=1,
+        help="stacking tiers (psi) of the tuned design",
+    )
+    ptu.add_argument(
+        "--t0", type=_csv_floats, default=None, metavar="CSV",
+        help="comma-separated initial temperatures (default: 0.01,0.03,0.1)",
+    )
+    ptu.add_argument(
+        "--alpha", type=_csv_floats, default=None, metavar="CSV",
+        help="comma-separated cooling factors (default: 0.85,0.9,0.95)",
+    )
+    ptu.add_argument(
+        "--moves", type=_csv_ints, default=None, metavar="CSV",
+        help="comma-separated moves-per-temperature (default: 40,80,150)",
+    )
+    ptu.add_argument(
+        "--final-temp", type=float, default=1e-4,
+        help="shared final temperature of every swept schedule",
+    )
+    ptu.add_argument(
+        "--replicates", type=_positive_int, default=2,
+        help="seed replicates per schedule (averaged; default: 2)",
+    )
+    ptu.add_argument("--seed", type=int, default=0, help="base sweep seed")
+    ptu.add_argument(
+        "--jobs", type=_positive_int, default=1, help="worker processes"
+    )
+    ptu.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve/store cells from the digest-keyed disk cache",
+    )
+    ptu.add_argument(
+        "--cache-dir", default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    ptu.add_argument(
+        "--backend",
+        choices=("auto", "object", "array", "exact"),
+        default="auto",
+        help="exchange cost backend for the swept anneals",
+    )
+    ptu.add_argument(
+        "--out", default="results",
+        help="directory for tune_pareto_<circuit>.json/.svg (default: results)",
+    )
+    ptu.add_argument(
+        "--trace", default=None, help="write a JSONL telemetry trace here"
+    )
+    ptu.add_argument(
+        "--report", default=None,
+        help="saved tune_pareto_*.json to re-render (pareto action)",
+    )
+    ptu.add_argument(
+        "--svg", default=None,
+        help="also write the re-rendered SVG here (pareto action)",
+    )
+    ptu.set_defaults(func=_cmd_tune)
 
     pst = sub.add_parser(
         "stats", help="analyse a JSONL trace (span tree, phases, SA curve)"

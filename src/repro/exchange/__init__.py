@@ -15,6 +15,7 @@ from .fastcost import CachedExchangeCost
 from .greedy import GreedyExchanger
 from .moves import MoveGenerator, SwapMove
 from .sections import DesignSectionTracker, SectionTracker, interval_numbers
+from .tempering import initial_chain_state, run_segment, swap_accept
 
 __all__ = [
     "CachedExchangeCost",
@@ -34,7 +35,10 @@ __all__ = [
     "SwapMove",
     "bonding_improvement",
     "group_masks",
+    "initial_chain_state",
     "interval_numbers",
+    "run_segment",
+    "swap_accept",
     "omega",
     "omega_of_assignment",
     "omega_of_design",

@@ -15,12 +15,33 @@ are.  We implement the standard Metropolis criterion
 
 from __future__ import annotations
 
+import functools
 import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..errors import NonFiniteCostError
+
+
+@functools.lru_cache(maxsize=4096)
+def _executed_steps(initial_temp: float, final_temp: float, cooling: float) -> int:
+    """Cooling steps the ``optimize`` loop will actually execute.
+
+    Counted by replaying the loop's own multiplicative recurrence
+    (``temperature *= cooling`` until ``temperature <= final_temp``).  The
+    closed form ``ceil(log(final/initial) / log(cooling))`` is off by one
+    whenever float rounding lands ``initial * cooling**n`` on the other
+    side of ``final_temp`` than exact arithmetic would — sequential
+    multiplication and the power/log round differently — which skewed
+    ``sa.begin`` step counts, curve budgets and progress math.
+    """
+    steps = 0
+    temperature = initial_temp
+    while temperature > final_temp:
+        temperature *= cooling
+        steps += 1
+    return steps
 
 #: Minimum cost improvement that counts as a new best (and triggers a
 #: snapshot).  Keeps best-state selection invariant to the ~1e-16 rounding
@@ -48,11 +69,13 @@ class SAParams:
             raise ValueError("moves_per_temp must be >= 1")
 
     def temperature_steps(self) -> int:
-        """Number of cooling steps the schedule will execute."""
-        steps = math.ceil(
-            math.log(self.final_temp / self.initial_temp) / math.log(self.cooling)
-        )
-        return max(1, steps)
+        """Number of cooling steps the schedule will execute.
+
+        Exact by construction: replays the same ``temperature *= cooling``
+        recurrence the annealing loop runs (see :func:`_executed_steps`),
+        so the reported count always equals ``len(stats.cost_trace)``.
+        """
+        return _executed_steps(self.initial_temp, self.final_temp, self.cooling)
 
     def total_moves(self) -> int:
         """Total move attempts over the whole schedule."""

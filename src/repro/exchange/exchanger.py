@@ -79,6 +79,12 @@ class FingerPadExchanger:
     ) -> None:
         self.design = design
         self.weights = weights or CostWeights()
+        if isinstance(params, str):
+            # Schedule names ("tuned", "fast", ...) resolve against the
+            # design size; lazy import because presets imports this package.
+            from ..presets import resolve_sa_params
+
+            params = resolve_sa_params(params, design)
         self.params = params or SAParams()
         self.net_type = net_type
         self.power_only = power_only

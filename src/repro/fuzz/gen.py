@@ -177,6 +177,15 @@ class CaseGenerator:
             "bump_ball_space": rng.choice(_BALL_POOL),
         }
         initial = rng.choice((0.5, 1.0, 2.0))
+        cooling = rng.choice(_COOLING_POOL)
+        if rng.random() < 0.25:
+            # Exact-power final temp: initial * cooling**k computed as a
+            # power lands on the float boundary where a closed-form step
+            # count and the loop's sequential multiplication can round to
+            # opposite sides — the schedule-accounting drift class.
+            final = initial * (cooling ** rng.randrange(2, 9))
+        else:
+            final = initial * rng.choice((0.1, 0.4))
         weights = {
             "ir": rng.choice(_WEIGHT_POOL),
             "density": rng.choice(_WEIGHT_POOL),
@@ -192,8 +201,8 @@ class CaseGenerator:
             run_seed=rng.randrange(2 ** 16),
             sa={
                 "initial_temp": initial,
-                "final_temp": initial * rng.choice((0.1, 0.4)),
-                "cooling": rng.choice(_COOLING_POOL),
+                "final_temp": final,
+                "cooling": cooling,
                 "moves_per_temp": rng.choice(_MOVES_POOL),
             },
             weights=weights,

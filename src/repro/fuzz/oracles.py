@@ -323,6 +323,18 @@ def oracle_backends(case: FuzzCase) -> List[str]:
 
     problems: List[str] = []
     reference = results["object"]
+    # Schedule accounting: the step count the schedule reports must equal
+    # the count the loop executed (one cost_trace entry per temperature
+    # tier).  Exact-power final temps from the generator land on the float
+    # boundary where the old log-based formula drifted by one.
+    expected_steps = case.sa_params().temperature_steps()
+    for backend, result in sorted(results.items()):
+        executed = len(result.stats.cost_trace)
+        if executed != expected_steps:
+            problems.append(
+                f"{backend}: schedule accounting: reported "
+                f"{expected_steps} temperature steps, executed {executed}"
+            )
     for backend in ("array", "exact"):
         other = results[backend]
         for fld in ("proposed", "accepted", "accepted_uphill"):

@@ -213,14 +213,23 @@ def write_curves(events: Sequence[dict], out_dir,
     os.makedirs(out_dir, exist_ok=True)
     written: List[str] = []
     seen: Dict[str, int] = {}
+    used: set = set()
     for curve in curves:
-        base = "".join(
+        label = "".join(
             ch if ch.isalnum() or ch in "-_" else "_" for ch in curve["name"]
         ) or "anneal"
-        count = seen.get(base, 0)
-        seen[base] = count + 1
-        if count:
-            base = f"{base}_{count}"
+        # Deterministic per (label, occurrence): occurrence 0 keeps the bare
+        # label, occurrence n gets `_n` — but never a name another curve
+        # already claimed.  Without the `used` check, a trace holding both a
+        # literal "c1_1" curve and two "c1" curves would render the second
+        # "c1" as "c1_1" and silently overwrite the real one.
+        count = seen.get(label, 0)
+        base = label if count == 0 else f"{label}_{count}"
+        while base in used:
+            count += 1
+            base = f"{label}_{count}"
+        seen[label] = count + 1
+        used.add(base)
         svg_path = os.path.join(os.fspath(out_dir), f"sa_curve_{base}.svg")
         json_path = os.path.join(os.fspath(out_dir), f"sa_curve_{base}.json")
         with open(svg_path, "w", encoding="utf-8") as handle:

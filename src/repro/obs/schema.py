@@ -76,6 +76,16 @@ REQUIRED: Dict[str, Dict[str, tuple]] = {
                "accepted": _NUM, "accepted_uphill": _NUM, "acceptance_ratio": _NUM},
     "sa.nonfinite": {"cost": _STR, "temperature": _NUM},
     "sa.curve": {"points": _LIST, "stride": _NUM, "total_steps": _NUM},
+    "sa.swap": {"round": _NUM, "chain_a": _NUM, "chain_b": _NUM,
+                "accepted": _BOOL, "cost_a": _NUM, "cost_b": _NUM,
+                "temp_a": _NUM, "temp_b": _NUM},
+    "tempering.begin": {"chains": _NUM, "steps": _NUM, "swap_stride": _NUM,
+                        "mode": _STR},
+    "tempering.end": {"best_cost": _NUM, "chains": _NUM,
+                      "swaps_proposed": _NUM, "swaps_accepted": _NUM},
+    "tune.begin": {"circuit": _STR, "cells": _NUM},
+    "tune.cell": {"circuit": _STR, "cost": _NUM, "seconds": _NUM},
+    "tune.end": {"cells": _NUM, "front": _NUM},
     "kernel.stats": {"backend": _STR, "proposed": _NUM, "us_per_move": _NUM,
                      "resyncs": _NUM},
     "metrics": {"version": _NUM, "metrics": _DICT},
@@ -108,6 +118,8 @@ OPTIONAL: Dict[str, Dict[str, tuple]] = {
     "job.failed": {"error_class": _OPT_STR},
     "sa.end": {"seconds": _NUM, "moves_per_s": _NUM, "nonfinite_rejected": _NUM},
     "sa.curve": {"circuit": _STR, "budget": _NUM},
+    "tempering.begin": {"ladder_ratio": _NUM},
+    "tune.cell": {"cached": _BOOL},
     "kernel.stats": {"swaps": _NUM, "seconds": _NUM},
     "profile": {"seconds": _NUM},
 }

@@ -81,3 +81,56 @@ def get_preset(name: str) -> ExchangePreset:
         raise KeyError(
             f"unknown preset {name!r}; available: {sorted(PRESETS)}"
         ) from None
+
+
+#: Tuned per-size default schedules: the Pareto knees of
+#: ``repro tune sweep --circuit {1,3,5} --seed 0`` (96 / 208 / 448 nets;
+#: see results/tune_pareto_*.json and docs/tuning.md).  Buckets are
+#: (max_net_count, schedule); ``None`` is the catch-all.  All three knees
+#: land on the paper's T0=0.03 but on faster cooling than its hand-picked
+#: alpha=0.95 — at equal quality the sweep buys back 30-60% wall-clock.
+TUNED_SCHEDULES = (
+    (128, SAParams(
+        initial_temp=0.03, final_temp=1e-4, cooling=0.85, moves_per_temp=150
+    )),
+    (256, SAParams(
+        initial_temp=0.03, final_temp=1e-4, cooling=0.9, moves_per_temp=40
+    )),
+    (None, SAParams(
+        initial_temp=0.03, final_temp=1e-4, cooling=0.85, moves_per_temp=80
+    )),
+)
+
+
+def tuned_schedule(net_count: int) -> SAParams:
+    """The sweep-tuned schedule for a design of *net_count* total nets."""
+    for bound, params in TUNED_SCHEDULES:
+        if bound is None or net_count <= bound:
+            return params
+    return TUNED_SCHEDULES[-1][1]  # pragma: no cover - catch-all above
+
+
+def resolve_sa_params(params, design=None):
+    """Resolve an annealing-schedule spec into :class:`SAParams`.
+
+    ``None`` and :class:`SAParams` instances pass through.  A string names
+    either the size-bucketed tuned default (``"tuned"``, needs *design*)
+    or a preset's schedule (``"fast"``/``"paper"``/``"thorough"``).  This
+    is the ``AnnealingSchedule`` resolution hook
+    :class:`~repro.exchange.FingerPadExchanger` applies, so CLI and job
+    params can carry schedule names instead of four floats.
+    """
+    if params is None or isinstance(params, SAParams):
+        return params
+    if isinstance(params, str):
+        if params == "tuned":
+            if design is None:
+                raise ValueError(
+                    "schedule 'tuned' is size-bucketed and needs a design"
+                )
+            return tuned_schedule(design.total_net_count)
+        return get_preset(params).params
+    raise TypeError(
+        f"sa_params must be SAParams, a schedule name, or None; "
+        f"got {type(params).__name__}"
+    )

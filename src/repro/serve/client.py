@@ -20,8 +20,11 @@ the raw response):
 
 from __future__ import annotations
 
+import datetime
+import email.utils
 import http.client
 import json
+import math
 import random
 import time
 from typing import Iterator, Optional, Tuple
@@ -282,12 +285,34 @@ class ServeClient:
 
 
 def _parse_retry_after(headers: dict) -> Optional[float]:
-    """The ``Retry-After`` header in seconds, or ``None`` (date forms and
-    garbage are ignored rather than parsed)."""
+    """The ``Retry-After`` header in seconds, or ``None``.
+
+    RFC 9110 allows both forms: delta-seconds (``"3"``) and an HTTP-date
+    (``"Wed, 21 Oct 2015 07:28:00 GMT"``).  A date in the past clamps to
+    zero.  Anything else — garbage, non-finite numbers — yields ``None``
+    so the caller falls back to its jittered backoff instead of raising
+    mid-retry.
+    """
     raw = headers.get("retry-after")
     if raw is None:
         return None
+    text = raw.strip() if isinstance(raw, str) else raw
     try:
-        return float(raw)
+        seconds = float(text)
+    except (TypeError, ValueError):
+        pass
+    else:
+        # float() happily parses "nan"/"inf"; neither is a usable delay.
+        return max(0.0, seconds) if math.isfinite(seconds) else None
+    if not isinstance(text, str):
+        return None
+    try:
+        when = email.utils.parsedate_to_datetime(text)
     except (TypeError, ValueError):
         return None
+    if when is None:
+        return None
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=datetime.timezone.utc)
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return max(0.0, (when - now).total_seconds())

@@ -3,6 +3,8 @@
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exchange import SAParams, SimulatedAnnealer
 
@@ -40,6 +42,66 @@ class TestScheduleAccounting:
         params = SAParams(initial_temp=1.0, final_temp=0.125, cooling=0.5)
         # 1.0 -> 0.5 -> 0.25 -> 0.125: needs 3 cooling steps to go <= final
         assert params.temperature_steps() == 3
+
+    def test_float_drift_regression(self):
+        """Pinned case where ceil(log(f/i)/log(c)) reported 161 steps while
+        the multiplicative loop executes 162: sequential ``t *= c`` and the
+        closed-form power round to opposite sides of final_temp."""
+        params = SAParams(
+            initial_temp=1.826083119485333,
+            final_temp=6.236388535904528e-12,
+            cooling=0.8487483839768104,
+            moves_per_temp=1,
+        )
+        formula = math.ceil(
+            math.log(params.final_temp / params.initial_temp)
+            / math.log(params.cooling)
+        )
+        executed = 0
+        temperature = params.initial_temp
+        while temperature > params.final_temp:
+            temperature *= params.cooling
+            executed += 1
+        assert formula == 161 and executed == 162  # the drift is real
+        assert params.temperature_steps() == executed
+
+    def test_degenerate_equal_temps_execute_zero_steps(self):
+        params = SAParams(initial_temp=0.5, final_temp=0.5, cooling=0.9)
+        __, propose, apply, undo, cost = make_walker()
+        stats = SimulatedAnnealer(params).optimize(propose, apply, undo, cost, seed=0)
+        assert params.temperature_steps() == 0
+        assert stats.cost_trace == []
+        assert stats.proposed == params.total_moves() == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        initial=st.floats(min_value=1e-6, max_value=1e4),
+        ratio=st.floats(min_value=1e-12, max_value=1.0),
+        cooling=st.floats(min_value=0.05, max_value=0.99),
+        power=st.integers(min_value=0, max_value=120),
+        exact_power=st.booleans(),
+    )
+    def test_reported_steps_equal_executed_steps(
+        self, initial, ratio, cooling, power, exact_power
+    ):
+        """Reported step count == the count the loop executes, across
+        extreme (T0, alpha) pairs — including finals that land exactly on
+        ``initial * cooling**k``, the boundary where the old log formula
+        drifted by one."""
+        if exact_power:
+            final = initial * (cooling ** power)
+            if not (0.0 < final <= initial):
+                final = initial * 0.5
+        else:
+            final = initial * ratio
+        params = SAParams(
+            initial_temp=initial, final_temp=final, cooling=cooling,
+            moves_per_temp=1,
+        )
+        __, propose, apply, undo, cost = make_walker()
+        stats = SimulatedAnnealer(params).optimize(propose, apply, undo, cost, seed=0)
+        assert params.temperature_steps() == len(stats.cost_trace)
+        assert stats.proposed == params.total_moves()
 
 
 class TestAcceptanceRegimes:

@@ -358,10 +358,26 @@ class TestClientRetry:
         assert client._delay(0, retry_after=9.0) == pytest.approx(0.5)
         assert client._delay(0, retry_after=-3.0) == 0.0
 
-    def test_parse_retry_after(self):
+    def test_parse_retry_after_delta_seconds(self):
         assert _parse_retry_after({"retry-after": "2"}) == 2.0
-        assert _parse_retry_after({"retry-after": "soon"}) is None
+        assert _parse_retry_after({"retry-after": " 2.5 "}) == 2.5
+        assert _parse_retry_after({"retry-after": "-3"}) == 0.0  # clamped
         assert _parse_retry_after({}) is None
+
+    def test_parse_retry_after_http_date(self):
+        import email.utils
+
+        future = email.utils.formatdate(time.time() + 30.0, usegmt=True)
+        seconds = _parse_retry_after({"retry-after": future})
+        assert seconds is not None and 25.0 <= seconds <= 31.0
+        past = email.utils.formatdate(time.time() - 60.0, usegmt=True)
+        assert _parse_retry_after({"retry-after": past}) == 0.0
+
+    def test_parse_retry_after_garbage_falls_back(self):
+        # Every unusable form must yield None (-> jittered backoff), not raise.
+        for raw in ("soon", "", "nan", "inf", "-inf", "Wed, 99 Foo", "1;2",
+                    None, object()):
+            assert _parse_retry_after({"retry-after": raw}) is None
 
     def test_retries_503_honoring_retry_after(self, monkeypatch):
         client = self._client(retries=3, backoff=0.1)

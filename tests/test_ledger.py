@@ -328,6 +328,56 @@ def test_render_curve_svg_is_selfcontained():
     assert "xmlns" in svg
 
 
+def test_write_curves_suffixes_same_named_curves(tmp_path):
+    """Two same-named sa.curve events in one trace must land in distinct
+    files: occurrence 0 keeps the bare label, occurrence 1 gets `_1`."""
+    events = []
+    telemetry = Telemetry(sink=events.append)
+    for run in range(2):
+        recorder = CurveRecorder()
+        for i in range(4):
+            recorder.observe(i, 10.0 - run - i, 10.0 - run - i, 1.0, 0.5)
+        recorder.emit(telemetry, circuit="circuit1")
+    out = write_curves(events, tmp_path)
+    names = sorted(Path(p).name for p in out)
+    assert names == [
+        "sa_curve_circuit1.json", "sa_curve_circuit1.svg",
+        "sa_curve_circuit1_1.json", "sa_curve_circuit1_1.svg",
+    ]
+    first = json.loads((tmp_path / "sa_curve_circuit1.json").read_text())
+    second = json.loads((tmp_path / "sa_curve_circuit1_1.json").read_text())
+    # Both runs survived -- nothing overwrote; order of occurrence preserved.
+    assert first["final_cost"] == pytest.approx(7.0)
+    assert second["final_cost"] == pytest.approx(6.0)
+
+
+def test_write_curves_never_reuses_a_claimed_name(tmp_path):
+    """A literal `circuit1_1` label coexisting with duplicate `circuit1`
+    labels used to collide: the second `circuit1` rendered as `circuit1_1`
+    and silently overwrote the real one."""
+    events = []
+    telemetry = Telemetry(sink=events.append)
+    for label, cost in (("circuit1_1", 5.0), ("circuit1", 4.0),
+                        ("circuit1", 3.0)):
+        recorder = CurveRecorder()
+        recorder.observe(0, cost, cost, 1.0, 0.5)
+        recorder.observe(1, cost, cost, 1.0, 0.4)
+        recorder.emit(telemetry, circuit=label)
+    out = write_curves(events, tmp_path)
+    json_names = sorted(Path(p).name for p in out if p.endswith(".json"))
+    assert json_names == [
+        "sa_curve_circuit1.json",
+        "sa_curve_circuit1_1.json",
+        "sa_curve_circuit1_2.json",
+    ]
+    # The literal circuit1_1 curve kept its file; the colliding duplicate
+    # was pushed to the next free occurrence slot.
+    kept = json.loads((tmp_path / "sa_curve_circuit1_1.json").read_text())
+    assert kept["final_cost"] == pytest.approx(5.0)
+    bumped = json.loads((tmp_path / "sa_curve_circuit1_2.json").read_text())
+    assert bumped["final_cost"] == pytest.approx(3.0)
+
+
 def test_cli_stats_curves_writes_artifacts(tmp_path, capsys):
     events = []
     telemetry = Telemetry(sink=events.append)
